@@ -1,0 +1,279 @@
+(* Command-line interface to the Contango flow:
+
+     contango generate <name|ti:N> -o bench.cts
+     contango run bench.cts [--engine spice|arnoldi] [--svg out.svg]
+     contango eval bench.cts            (baseline greedy-CTS, for comparison)
+     contango svg bench.cts -o tree.svg (initial tree only, slack-coloured)
+*)
+
+open Cmdliner
+module Ev = Analysis.Evaluator
+
+let engine_conv =
+  let parse = function
+    | "spice" -> Ok Ev.Spice
+    | "arnoldi" -> Ok Ev.Arnoldi
+    | "elmore" -> Ok Ev.Elmore_model
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  let print ppf = function
+    | Ev.Spice -> Format.pp_print_string ppf "spice"
+    | Ev.Arnoldi -> Format.pp_print_string ppf "arnoldi"
+    | Ev.Elmore_model -> Format.pp_print_string ppf "elmore"
+  in
+  Arg.conv (parse, print)
+
+let load_bench spec =
+  if Sys.file_exists spec then Suite.Format_io.read_file spec
+  else if List.mem spec Suite.Gen_ispd.names then Suite.Gen_ispd.generate spec
+  else
+    match String.index_opt spec ':' with
+    | Some i when String.sub spec 0 i = "ti" ->
+      Suite.Gen_ti.generate
+        (int_of_string (String.sub spec (i + 1) (String.length spec - i - 1)))
+    | _ ->
+      failwith
+        (Printf.sprintf
+           "%s: not a file, an ISPD'09 name (%s) or ti:<sinks>" spec
+           (String.concat ", " Suite.Gen_ispd.names))
+
+let config_of ~engine =
+  match engine with
+  | Some e -> { Core.Config.default with Core.Config.engine = e }
+  | None -> Core.Config.default
+
+let write_slack_svg tree eval path =
+  let slacks = Core.Slack.combined tree eval in
+  let hi =
+    Array.fold_left
+      (fun acc v -> if Float.is_finite v then Float.max acc v else acc)
+      0. slacks.Core.Slack.slow
+  in
+  let edge_color id =
+    Ctree.Svg.gradient ~lo:0. ~hi (slacks.Core.Slack.slow.(id))
+  in
+  Ctree.Svg.write_file path (Ctree.Svg.render ~edge_color tree);
+  Printf.printf "wrote %s\n" path
+
+(* generate *)
+let generate_cmd =
+  let spec =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"NAME" ~doc:"Benchmark: an ISPD'09 name or ti:<sinks>.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run spec output =
+    let b = load_bench spec in
+    let path = Option.value output ~default:(b.Suite.Format_io.name ^ ".cts") in
+    Suite.Format_io.write_file path b;
+    Printf.printf "wrote %s (%d sinks, %d obstacles)\n" path
+      (Array.length b.Suite.Format_io.sinks)
+      (List.length b.Suite.Format_io.obstacles)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a benchmark file.")
+    Term.(const run $ spec $ output)
+
+(* run *)
+let run_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let engine =
+    Arg.(value & opt (some engine_conv) None
+         & info [ "engine" ] ~doc:"Evaluation engine (spice, arnoldi, elmore).")
+  in
+  let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE") in
+  let run spec engine svg =
+    let b = load_bench spec in
+    let config = config_of ~engine in
+    let r =
+      Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
+        ~source:b.Suite.Format_io.source ~obstacles:b.Suite.Format_io.obstacles
+        b.Suite.Format_io.sinks
+    in
+    Printf.printf "benchmark %s (%d sinks)\n" b.Suite.Format_io.name
+      (Array.length b.Suite.Format_io.sinks);
+    List.iter
+      (fun (e : Core.Flow.trace_entry) ->
+        Printf.printf "%-8s skew %8.3f ps   CLR %8.3f ps   evals %4d   %6.1f s\n"
+          (Core.Flow.step_name e.Core.Flow.step) e.Core.Flow.skew
+          e.Core.Flow.clr e.Core.Flow.eval_runs e.Core.Flow.seconds)
+      r.Core.Flow.trace;
+    let stats = r.Core.Flow.final.Ev.stats in
+    Printf.printf "buffers %d  wirelength %.2f mm  cap %.1f pF (%s of limit)\n"
+      stats.Ctree.Stats.buffer_count
+      (float_of_int stats.Ctree.Stats.wirelength /. 1.e6)
+      (stats.Ctree.Stats.total_cap /. 1000.)
+      (if b.Suite.Format_io.tech.Tech.cap_limit = infinity then "n/a"
+       else
+         Printf.sprintf "%.1f%%"
+           (100. *. stats.Ctree.Stats.total_cap
+            /. b.Suite.Format_io.tech.Tech.cap_limit));
+    (match r.Core.Flow.repair with
+    | Some rep -> Format.printf "repair: %a@." Route.Repair.pp_report rep
+    | None -> ());
+    (* Local skew profile: skew restricted to communicating-distance
+       sink pairs. *)
+    let run_rise = Ev.nominal_run r.Core.Flow.final Ev.Rise in
+    let profile =
+      Analysis.Localskew.profile run_rise ~tree:r.Core.Flow.tree
+        ~radii:[ 200_000; 1_000_000; 5_000_000 ]
+    in
+    Printf.printf "local skew: %s\n"
+      (String.concat "  "
+         (List.map
+            (fun (radius, skew) ->
+              Printf.sprintf "<=%.1fmm: %.3fps"
+                (float_of_int radius /. 1.e6)
+                skew)
+            profile));
+    Option.iter (write_slack_svg r.Core.Flow.tree r.Core.Flow.final) svg
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run the full Contango flow on a benchmark.")
+    Term.(const run $ spec $ engine $ svg)
+
+(* eval (baseline) *)
+let eval_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let engine =
+    Arg.(value & opt (some engine_conv) None & info [ "engine" ])
+  in
+  let run spec engine =
+    let b = load_bench spec in
+    let config = config_of ~engine in
+    let r = Suite.Baseline.run ~config b in
+    Format.printf "greedy-CTS baseline on %s: %a@." b.Suite.Format_io.name
+      Ev.pp_summary r.Suite.Baseline.eval
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Run and evaluate the greedy-CTS baseline flow.")
+    Term.(const run $ spec $ engine)
+
+(* mc: Monte-Carlo variation analysis *)
+let mc_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let trials = Arg.(value & opt int 20 & info [ "trials" ] ~docv:"N") in
+  let sigma =
+    Arg.(value & opt float 0.05 & info [ "sigma" ]
+         ~doc:"Relative std-dev of buffer drive strength.")
+  in
+  let run spec trials sigma =
+    let b = load_bench spec in
+    let r =
+      Core.Flow.run ~tech:b.Suite.Format_io.tech
+        ~source:b.Suite.Format_io.source
+        ~obstacles:b.Suite.Format_io.obstacles b.Suite.Format_io.sinks
+    in
+    let mc =
+      Analysis.Montecarlo.run
+        { Analysis.Montecarlo.default_spec with
+          Analysis.Montecarlo.trials; sigma_buffer = sigma }
+        r.Core.Flow.tree
+    in
+    Printf.printf
+      "%s after the full flow, %d trials at sigma %.0f%%:\n\
+       nominal skew %.3f ps; under variation mean %.3f, worst %.3f, \
+       sigma %.3f ps\n"
+      b.Suite.Format_io.name trials (100. *. sigma)
+      mc.Analysis.Montecarlo.nominal_skew mc.Analysis.Montecarlo.mean_skew
+      mc.Analysis.Montecarlo.max_skew mc.Analysis.Montecarlo.std_skew
+  in
+  Cmd.v
+    (Cmd.info "mc" ~doc:"Monte-Carlo variation analysis of the optimized tree.")
+    Term.(const run $ spec $ trials $ sigma)
+
+(* mesh: tree-mesh hybrid *)
+let mesh_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let density = Arg.(value & opt int 12 & info [ "density" ] ~docv:"N") in
+  let taps = Arg.(value & opt int 4 & info [ "taps" ] ~docv:"K") in
+  let run spec density taps =
+    let b = load_bench spec in
+    let region = b.Suite.Format_io.chip in
+    let sinks =
+      Array.map
+        (fun s -> (s.Dme.Zst.pos, s.Dme.Zst.cap))
+        b.Suite.Format_io.sinks
+    in
+    let m =
+      Mesh.Grid_mesh.build ~tech:b.Suite.Format_io.tech ~region ~nx:density
+        ~ny:density ~sinks
+    in
+    let res, flow =
+      Mesh.Grid_mesh.hybrid ~tech:b.Suite.Format_io.tech
+        ~source:b.Suite.Format_io.source ~k:taps m
+    in
+    Printf.printf
+      "%dx%d mesh, %dx%d taps on %s:\n\
+       tap-tree skew %.3f ps; mesh sink skew %.3f ps; worst sink slew %.1f \
+       ps; mesh wire cap %.1f pF\n"
+      density density taps taps b.Suite.Format_io.name
+      flow.Core.Flow.final.Ev.skew res.Mesh.Grid_mesh.skew
+      res.Mesh.Grid_mesh.worst_slew
+      (Mesh.Grid_mesh.wire_cap m /. 1000.)
+  in
+  Cmd.v
+    (Cmd.info "mesh" ~doc:"Drive a clock mesh from a Contango tap tree.")
+    Term.(const run $ spec $ density $ taps)
+
+(* netlist *)
+let netlist_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let output =
+    Arg.(value & opt string "tree.cir" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run spec output =
+    let b = load_bench spec in
+    let tree, _, _, _ =
+      Core.Flow.initial_tree ~tech:b.Suite.Format_io.tech
+        ~source:b.Suite.Format_io.source
+        ~obstacles:b.Suite.Format_io.obstacles b.Suite.Format_io.sinks
+    in
+    Analysis.Netlist.write_file output tree;
+    Printf.printf "wrote %s (ngspice deck for the initial buffered tree)\n"
+      output
+  in
+  Cmd.v
+    (Cmd.info "netlist"
+       ~doc:"Export the initial buffered tree as an ngspice deck.")
+    Term.(const run $ spec $ output)
+
+(* svg *)
+let svg_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let output =
+    Arg.(value & opt string "tree.svg" & info [ "o"; "output" ] ~docv:"FILE")
+  in
+  let run spec output =
+    let b = load_bench spec in
+    let tree, _, _, _ =
+      Core.Flow.initial_tree ~tech:b.Suite.Format_io.tech
+        ~source:b.Suite.Format_io.source
+        ~obstacles:b.Suite.Format_io.obstacles b.Suite.Format_io.sinks
+    in
+    let eval = Ev.evaluate tree in
+    let slacks = Core.Slack.combined tree eval in
+    let hi =
+      Array.fold_left
+        (fun acc v -> if Float.is_finite v then Float.max acc v else acc)
+        0. slacks.Core.Slack.slow
+    in
+    let edge_color id =
+      Ctree.Svg.gradient ~lo:0. ~hi slacks.Core.Slack.slow.(id)
+    in
+    Ctree.Svg.write_file output
+      (Ctree.Svg.render ~edge_color ~obstacles:b.Suite.Format_io.obstacles tree);
+    Printf.printf "wrote %s\n" output
+  in
+  Cmd.v
+    (Cmd.info "svg"
+       ~doc:"Render the initial buffered tree with slack colouring.")
+    Term.(const run $ spec $ output)
+
+let () =
+  let info =
+    Cmd.info "contango" ~version:"1.0.0"
+      ~doc:"Integrated optimization of SoC clock networks (DATE'10 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ generate_cmd; run_cmd; eval_cmd; svg_cmd; netlist_cmd; mc_cmd; mesh_cmd ]))

@@ -1,0 +1,81 @@
+(* Bounded-skew construction (paper §II background): the BST/DME family
+   trades a skew budget for wirelength. Plain ZST mode snakes the fast
+   branch of every unbalanced merge; with a budget, imbalances within it
+   are absorbed instead.
+
+     dune exec examples/bst_tradeoff.exe
+*)
+
+open Geometry
+
+let tech = Tech.default45 ()
+
+(* Part 1 — the mechanism on a single merge: a slow two-sink subtree (its
+   internal wire carries real Elmore delay) merged with a sink right next
+   to its tapping region. Zero-skew mode must elongate the fast sink's
+   wire; a budget absorbs the gap instead. *)
+let mechanism () =
+  print_endline "One unbalanced merge (fast-edge electrical length, nm):";
+  let positions =
+    [| Point.make 0 0; Point.make 2_000_000 0; Point.make 1_000_000 10_000 |]
+  in
+  let caps = [| 10.; 10.; 10. |] in
+  let wire = Tech.wire tech (Tech.widest_wire tech) in
+  let topo =
+    Dme.Topology.Node
+      (Dme.Topology.Node (Dme.Topology.Leaf 0, Dme.Topology.Leaf 1),
+       Dme.Topology.Leaf 2)
+  in
+  List.iter
+    (fun budget ->
+      let m = Dme.Merge.bottom_up ~skew_budget:budget topo ~positions ~caps ~wire in
+      match m.Dme.Merge.shape with
+      | Dme.Merge.Mnode (_, _, _, eb) ->
+        Printf.printf
+          "  budget %6.1f ps -> edge %7.0f nm (geometric distance 10000), \
+           spread %.2f ps\n"
+          budget eb
+          (m.Dme.Merge.delay -. m.Dme.Merge.delay_min)
+      | Dme.Merge.Mleaf _ -> ())
+    [ 0.; 2.; 10. ]
+
+(* Part 2 — whole-tree statistics on a random instance whose topology
+   happens to need snaking. *)
+let whole_tree () =
+  print_endline "\nWhole-tree construction (200 random sinks, 5 mm die):";
+  let rng = Suite.Rng.create 11 in
+  let sinks =
+    Array.init 200 (fun i ->
+        { Dme.Zst.pos =
+            Point.make (Suite.Rng.int rng 5_000_000) (Suite.Rng.int rng 5_000_000);
+          cap = 10. +. Suite.Rng.float rng *. 20.; parity = 0;
+          label = Printf.sprintf "s%d" i })
+  in
+  Printf.printf "%10s %14s %12s %14s\n" "budget(ps)" "wirelength(mm)"
+    "snake(mm)" "elmore skew";
+  List.iter
+    (fun budget ->
+      let t =
+        Dme.Zst.build ~tech ~source:(Point.make 0 2_500_000)
+          ~skew_budget:budget sinks
+      in
+      let s = Ctree.Stats.compute t in
+      let skew =
+        (Analysis.Evaluator.evaluate ~engine:Analysis.Evaluator.Elmore_model t)
+          .Analysis.Evaluator.skew
+      in
+      Printf.printf "%10.1f %14.2f %12.3f %12.2fps\n" budget
+        (float_of_int s.Ctree.Stats.wirelength /. 1.e6)
+        (float_of_int s.Ctree.Stats.snake_total /. 1.e6)
+        skew)
+    [ 0.; 2.; 10.; 50. ]
+
+let () =
+  mechanism ();
+  whole_tree ();
+  print_endline
+    "\nBalanced topologies rarely need much construction snaking, so the\n\
+     budget's wirelength saving is modest there — but each unbalanced\n\
+     merge it does hit avoids an elongation entirely, and the admitted\n\
+     construction skew is later recovered by the flow's accurate\n\
+     optimizations."

@@ -1,0 +1,49 @@
+(* Sink-polarity correction strategies compared (paper §IV-D, Table II):
+   after polarity-oblivious buffer insertion roughly half the sinks see an
+   inverted clock. The naive patch, the top-inverter variant and the
+   minimal bottom-up marking algorithm (Proposition 2) fix the same tree
+   at very different cost.
+
+     dune exec examples/polarity_demo.exe
+*)
+
+open Geometry
+
+let build_inserted () =
+  let rng = Suite.Rng.create 99 in
+  let sinks =
+    Array.init 200 (fun i ->
+        { Dme.Zst.label = Printf.sprintf "s%d" i;
+          pos = Point.make (Suite.Rng.int rng 6_000_000) (Suite.Rng.int rng 6_000_000);
+          cap = 10.; parity = 0 })
+  in
+  let tech = Tech.default45 () in
+  let tree = Dme.Zst.build ~tech ~source:(Point.make 0 3_000_000) sinks in
+  let buf = Tech.Composite.make Tech.Device.small_inverter 16 in
+  let ceiling = Route.Slewcap.lumped ~tech ~buf () in
+  (Buffering.Fast_vg.insert tree ~buf ~cap_ceiling:ceiling (), buf)
+
+let () =
+  let strategies =
+    [ ("per-sink", Core.Polarity.Per_sink);
+      ("top+per-sink", Core.Polarity.Top_then_per_sink);
+      ("minimal (Prop. 2)", Core.Polarity.Minimal) ]
+  in
+  Printf.printf "%-18s %14s %14s %12s\n" "strategy" "inverted sinks"
+    "added inverters" "skew (ps)";
+  List.iter
+    (fun (name, strategy) ->
+      let tree, buf = build_inserted () in
+      let report = Core.Polarity.correct tree ~buf ~strategy in
+      assert (Core.Polarity.inverted_sinks tree = []);
+      let eval =
+        Analysis.Evaluator.evaluate ~engine:Analysis.Evaluator.Arnoldi tree
+      in
+      Printf.printf "%-18s %14d %14d %12.2f\n" name
+        report.Core.Polarity.inverted_before report.Core.Polarity.added
+        eval.Analysis.Evaluator.skew)
+    strategies;
+  print_endline
+    "\nAll three agree on correctness; Minimal adds the fewest inverters\n\
+     (<= 1 per root-to-sink path), and the skew it introduces is repaired\n\
+     by the downstream optimizations of the full flow."

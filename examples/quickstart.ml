@@ -1,0 +1,41 @@
+(* Quickstart: synthesise a clock tree for a handful of sinks and print
+   what the flow did.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Geometry
+
+let () =
+  (* A 4 mm x 4 mm die with 40 clock sinks in two clusters. *)
+  let rng = Suite.Rng.create 42 in
+  let cluster cx cy n =
+    List.init n (fun i ->
+        let x = cx + Suite.Rng.int rng 800_000 - 400_000 in
+        let y = cy + Suite.Rng.int rng 800_000 - 400_000 in
+        { Dme.Zst.label = Printf.sprintf "ff%d_%d" cx i;
+          pos = Point.make (abs x) (abs y); cap = 10.; parity = 0 })
+  in
+  let sinks =
+    Array.of_list (cluster 1_000_000 3_000_000 20 @ cluster 3_000_000 1_000_000 20)
+  in
+  let tech = Tech.default45 ~cap_limit:30_000. () in
+  let result =
+    Core.Flow.run ~tech ~source:(Point.make 0 2_000_000) sinks
+  in
+  print_endline "step      skew(ps)   CLR(ps)";
+  List.iter
+    (fun (e : Core.Flow.trace_entry) ->
+      Printf.printf "%-8s %8.3f  %8.3f\n"
+        (Core.Flow.step_name e.Core.Flow.step)
+        e.Core.Flow.skew e.Core.Flow.clr)
+    result.Core.Flow.trace;
+  let stats = result.Core.Flow.final.Analysis.Evaluator.stats in
+  Printf.printf
+    "\n%d buffers (%s), %.2f mm of wire, %.1f pF total capacitance\n"
+    stats.Ctree.Stats.buffer_count
+    (Tech.Composite.name result.Core.Flow.chosen_buf)
+    (float_of_int stats.Ctree.Stats.wirelength /. 1.e6)
+    (stats.Ctree.Stats.total_cap /. 1000.);
+  Printf.printf "evaluation (SPICE-substitute) runs: %d in %.1f s\n"
+    result.Core.Flow.eval_runs result.Core.Flow.seconds

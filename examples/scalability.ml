@@ -1,0 +1,32 @@
+(* Scalability demo (paper §V, Table V, reduced): run the flow on
+   TI-style benchmarks of growing size with the moment-matching (Arnoldi)
+   engine and watch capacitance scale linearly while skew stays small.
+
+     dune exec examples/scalability.exe            (200..2000 sinks)
+     CONTANGO_EXAMPLE_FULL=1 dune exec examples/scalability.exe   (..10K)
+*)
+
+let () =
+  let sizes =
+    match Sys.getenv_opt "CONTANGO_EXAMPLE_FULL" with
+    | Some _ -> [ 200; 500; 1_000; 2_000; 5_000; 10_000 ]
+    | None -> [ 200; 500; 1_000; 2_000 ]
+  in
+  let config = Core.Config.scalability in
+  Printf.printf "%6s %10s %10s %12s %10s %8s %6s\n" "sinks" "CLR(ps)"
+    "skew(ps)" "latency(ps)" "cap(pF)" "time(s)" "evals";
+  List.iter
+    (fun n ->
+      let b = Suite.Gen_ti.generate n in
+      let r =
+        Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
+          ~source:b.Suite.Format_io.source b.Suite.Format_io.sinks
+      in
+      let final = r.Core.Flow.final in
+      let stats = final.Analysis.Evaluator.stats in
+      Printf.printf "%6d %10.2f %10.3f %12.1f %10.1f %8.1f %6d\n%!" n
+        final.Analysis.Evaluator.clr final.Analysis.Evaluator.skew
+        final.Analysis.Evaluator.t_max
+        (stats.Ctree.Stats.total_cap /. 1000.)
+        r.Core.Flow.seconds r.Core.Flow.eval_runs)
+    sizes

@@ -1,0 +1,72 @@
+(* Obstacle-heavy SoC: pre-placed macros block buffer insertion, so the
+   flow must detour subtrees along obstacle contours (paper §IV-A,
+   Fig. 2). Demonstrates compound-obstacle handling and renders the
+   resulting tree to an SVG.
+
+     dune exec examples/soc_obstacles.exe
+*)
+
+open Geometry
+
+let () =
+  (* An 8 mm x 6 mm SoC with a CPU block, an L-shaped RAM compound (two
+     abutting rectangles) and a DSP strip. *)
+  let obstacles =
+    [
+      Rect.make ~lx:1_500_000 ~ly:1_500_000 ~hx:3_800_000 ~hy:3_600_000;
+      (* RAM compound: two abutting rectangles forming an L *)
+      Rect.make ~lx:4_800_000 ~ly:2_000_000 ~hx:6_400_000 ~hy:4_400_000;
+      Rect.make ~lx:6_400_000 ~ly:2_000_000 ~hx:7_200_000 ~hy:3_000_000;
+      (* DSP strip near the top *)
+      Rect.make ~lx:2_500_000 ~ly:4_800_000 ~hx:6_000_000 ~hy:5_400_000;
+    ]
+  in
+  let rng = Suite.Rng.create 7 in
+  let inside p = List.exists (fun r -> Rect.contains_open r p) obstacles in
+  let rec place () =
+    let p = Point.make (Suite.Rng.int rng 8_000_000) (Suite.Rng.int rng 6_000_000) in
+    if inside p then place () else p
+  in
+  let sinks =
+    Array.init 150 (fun i ->
+        { Dme.Zst.label = Printf.sprintf "s%d" i; pos = place ();
+          cap = 8. +. Suite.Rng.float rng *. 20.; parity = 0 })
+  in
+  let tech = Tech.default45 ~cap_limit:80_000. () in
+  let source = Point.make 0 3_000_000 in
+
+  (* How bad is it without repair? Count wire-over-macro overlap. *)
+  let raw = Dme.Zst.build ~tech ~source sinks in
+  let compounds = Route.Obstacle.compounds obstacles in
+  Printf.printf "compound obstacles: %d (from %d rectangles)\n"
+    (List.length compounds) (List.length obstacles);
+
+  let strongest = Tech.Composite.make Tech.Device.small_inverter 32 in
+  let drivable = Route.Slewcap.lumped ~tech ~buf:strongest () in
+  let _, report = Route.Repair.run raw ~obstacles ~drivable_cap:drivable in
+  Format.printf "repair on the raw ZST: %a@." Route.Repair.pp_report report;
+
+  (* Full flow with obstacles. *)
+  let result = Core.Flow.run ~tech ~source ~obstacles sinks in
+  List.iter
+    (fun (e : Core.Flow.trace_entry) ->
+      Printf.printf "%-8s skew %8.3f ps   CLR %8.3f ps\n"
+        (Core.Flow.step_name e.Core.Flow.step)
+        e.Core.Flow.skew e.Core.Flow.clr)
+    result.Core.Flow.trace;
+  (match result.Core.Flow.repair with
+  | Some r -> Format.printf "flow repair: %a@." Route.Repair.pp_report r
+  | None -> ());
+
+  (* Render with slow-down-slack colouring, Fig. 3 style. *)
+  let tree = result.Core.Flow.tree in
+  let slacks = Core.Slack.combined tree result.Core.Flow.final in
+  let hi =
+    Array.fold_left
+      (fun acc v -> if Float.is_finite v then Float.max acc v else acc)
+      0. slacks.Core.Slack.slow
+  in
+  let edge_color id = Ctree.Svg.gradient ~lo:0. ~hi slacks.Core.Slack.slow.(id) in
+  let path = "soc_obstacles.svg" in
+  Ctree.Svg.write_file path (Ctree.Svg.render ~edge_color ~obstacles tree);
+  Printf.printf "wrote %s\n" path

@@ -1,0 +1,24 @@
+let downstream_cap (rc : Rcnet.t) =
+  let down = Array.copy rc.cap in
+  for i = rc.size - 1 downto 1 do
+    down.(rc.parent.(i)) <- down.(rc.parent.(i)) +. down.(i)
+  done;
+  down
+
+let node_delays (rc : Rcnet.t) ~r_drv =
+  let down = downstream_cap rc in
+  let delay = Array.make rc.size 0. in
+  if rc.size > 0 then delay.(0) <- Tech.Units.ps_of_rc r_drv down.(0);
+  for i = 1 to rc.size - 1 do
+    delay.(i) <- delay.(rc.parent.(i)) +. Tech.Units.ps_of_rc rc.res.(i) down.(i)
+  done;
+  delay
+
+let solve (rc : Rcnet.t) ~r_drv ~s_drv =
+  let delay = node_delays rc ~r_drv in
+  Array.map
+    (fun (i, _) ->
+      let d = delay.(i) in
+      let step_slew = Tech.Units.ln9 *. d in
+      (d, sqrt ((s_drv *. s_drv) +. (step_slew *. step_slew))))
+    rc.taps

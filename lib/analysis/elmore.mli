@@ -1,0 +1,14 @@
+(** Elmore delay with PERI-style slew propagation — the fast analytical
+    model used during construction (ZST balancing, van Ginneken). *)
+
+(** Per-tap [(delay, slew)] in ps for a stage driven through [r_drv] Ω by a
+    ramp of 10–90 % slew [s_drv] ps. The result array is indexed like
+    [rc.taps]. *)
+val solve : Rcnet.t -> r_drv:float -> s_drv:float -> (float * float) array
+
+(** Elmore delay at every rc node (ps), for callers needing interior
+    values. *)
+val node_delays : Rcnet.t -> r_drv:float -> float array
+
+(** Total downstream capacitance seen at each rc node (fF). *)
+val downstream_cap : Rcnet.t -> float array

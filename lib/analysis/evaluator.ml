@@ -1,0 +1,194 @@
+module Tree = Ctree.Tree
+
+type engine = Elmore_model | Arnoldi | Spice
+type transition = Rise | Fall
+
+let flip = function Rise -> Fall | Fall -> Rise
+
+type run = {
+  corner : Tech.Corner.t;
+  transition : transition;
+  latency : float array;
+  slew : float array;
+  worst_slew : float;
+  worst_slew_node : int;
+}
+
+type t = {
+  runs : run list;
+  sinks : int array;
+  skew_rise : float;
+  skew_fall : float;
+  skew : float;
+  t_min : float;
+  t_max : float;
+  clr : float;
+  slew_violations : int;
+  cap_ok : bool;
+  stats : Ctree.Stats.t;
+}
+
+let counter = ref 0
+let eval_count () = !counter
+let reset_eval_count () = counter := 0
+
+let solve_stage engine rc ~r_drv ~s_drv =
+  match engine with
+  | Elmore_model -> Elmore.solve rc ~r_drv ~s_drv
+  | Arnoldi -> Moments.solve rc ~r_drv ~s_drv
+  | Spice -> Transient.solve rc ~r_drv ~s_drv
+
+(* The inverter's internal switching ramp: mostly a device property, with a
+   mild dependence on how slowly the input arrives. *)
+let internal_ramp_slew ~in_slew = Float.max 2.0 (0.15 *. in_slew)
+
+let propagate engine tree stages (corner : Tech.Corner.t) source_transition =
+  let n = Tree.size tree in
+  let tech = Tree.tech tree in
+  let latency = Array.make n nan in
+  let slew = Array.make n nan in
+  (* Per-driver launch state: arrival of the output ramp's 50 % point, the
+     output transition, and the slew seen at the driver's input. *)
+  let launch = Array.make n nan in
+  let out_tr = Array.make n source_transition in
+  let in_slew = Array.make n tech.Tech.source_slew in
+  launch.(Tree.root tree) <- 0.;
+  let worst_slew = ref 0. and worst_node = ref (-1) in
+  List.iter
+    (fun { Rcnet.driver; rc } ->
+      let tr = out_tr.(driver) in
+      let r_base =
+        match (Tree.node tree driver).Tree.kind with
+        | Tree.Source -> tech.Tech.source_r
+        | Tree.Buffer b ->
+          (match tr with
+          | Rise -> Tech.Composite.r_up b
+          | Fall -> Tech.Composite.r_down b)
+        | Tree.Internal | Tree.Sink _ ->
+          invalid_arg "Evaluator: stage driven by a non-driver node"
+      in
+      let r_drv = r_base *. corner.Tech.Corner.r_scale in
+      let s_drv =
+        match (Tree.node tree driver).Tree.kind with
+        | Tree.Source -> tech.Tech.source_slew
+        | _ -> internal_ramp_slew ~in_slew:in_slew.(driver)
+      in
+      let results = solve_stage engine rc ~r_drv ~s_drv in
+      Array.iteri
+        (fun k (_, tap) ->
+          let d, s = results.(k) in
+          let arrival = launch.(driver) +. d in
+          match tap with
+          | Rcnet.Tap_sink id ->
+            latency.(id) <- arrival;
+            slew.(id) <- s;
+            if s > !worst_slew then begin worst_slew := s; worst_node := id end
+          | Rcnet.Tap_buffer id ->
+            latency.(id) <- arrival;
+            slew.(id) <- s;
+            if s > !worst_slew then begin worst_slew := s; worst_node := id end;
+            (match (Tree.node tree id).Tree.kind with
+            | Tree.Buffer b ->
+              let gate_delay =
+                (Tech.Composite.d_intrinsic b *. corner.Tech.Corner.d_scale)
+                +. (Tech.Composite.slew_coeff b *. s)
+              in
+              launch.(id) <- arrival +. gate_delay;
+              in_slew.(id) <- s;
+              out_tr.(id) <-
+                (if Tech.Composite.inverting b then flip tr else tr)
+            | _ -> invalid_arg "Evaluator: buffer tap on non-buffer node"))
+        rc.Rcnet.taps)
+    stages;
+  { corner; transition = source_transition; latency; slew;
+    worst_slew = !worst_slew; worst_slew_node = !worst_node }
+
+let spread latencies sinks =
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      let l = latencies.(s) in
+      if not (Float.is_nan l) then begin
+        if l < !lo then lo := l;
+        if l > !hi then hi := l
+      end)
+    sinks;
+  (!lo, !hi)
+
+let evaluate ?(engine = Spice) ?seg_len tree =
+  incr counter;
+  let tech = Tree.tech tree in
+  let stages = Rcnet.stages ?seg_len tree in
+  let sinks = Tree.sinks tree in
+  let corners = tech.Tech.corners in
+  let nominal = List.hd corners in
+  let runs =
+    List.concat_map
+      (fun corner ->
+        List.map (propagate engine tree stages corner) [ Rise; Fall ])
+      corners
+  in
+  let find corner tr =
+    List.find
+      (fun r -> r.corner == corner && r.transition = tr)
+      runs
+  in
+  let skew_of r =
+    let lo, hi = spread r.latency sinks in
+    if Array.length sinks = 0 then 0. else hi -. lo
+  in
+  let nom_rise = find nominal Rise and nom_fall = find nominal Fall in
+  let skew_rise = skew_of nom_rise and skew_fall = skew_of nom_fall in
+  let lo_r, hi_r = spread nom_rise.latency sinks in
+  let lo_f, hi_f = spread nom_fall.latency sinks in
+  (* CLR: slowest corner's max latency minus fastest corner's min latency,
+     per source transition. With one corner this degenerates to skew. *)
+  let slow_corner =
+    List.fold_left
+      (fun acc c ->
+        if c.Tech.Corner.r_scale > acc.Tech.Corner.r_scale then c else acc)
+      nominal corners
+  in
+  let clr_of tr =
+    let _, hi = spread (find slow_corner tr).latency sinks in
+    let lo, _ = spread (find nominal tr).latency sinks in
+    hi -. lo
+  in
+  let clr = Float.max (clr_of Rise) (clr_of Fall) in
+  let slew_violations =
+    List.fold_left
+      (fun acc r ->
+        acc
+        + Array.fold_left
+            (fun acc s ->
+              if (not (Float.is_nan s)) && s > tech.Tech.slew_limit then acc + 1
+              else acc)
+            0 r.slew)
+      0 runs
+  in
+  let stats = Ctree.Stats.compute tree in
+  {
+    runs;
+    sinks;
+    skew_rise;
+    skew_fall;
+    skew = Float.max skew_rise skew_fall;
+    t_min = Float.min lo_r lo_f;
+    t_max = Float.max hi_r hi_f;
+    clr;
+    slew_violations;
+    cap_ok = stats.Ctree.Stats.total_cap <= tech.Tech.cap_limit;
+    stats;
+  }
+
+let nominal_run t tr =
+  let nominal = (List.hd t.runs).corner in
+  List.find (fun r -> r.transition = tr && r.corner == nominal) t.runs
+
+let ok t = t.slew_violations = 0 && t.cap_ok
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "skew=%.3fps (r %.3f / f %.3f) clr=%.3fps lat=[%.1f,%.1f]ps slewviol=%d%s"
+    t.skew t.skew_rise t.skew_fall t.clr t.t_min t.t_max t.slew_violations
+    (if t.cap_ok then "" else " CAP-OVER")

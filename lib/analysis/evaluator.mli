@@ -1,0 +1,62 @@
+(** Clock-Network Evaluation (CNE): full-tree timing with a pluggable
+    engine.
+
+    The tree is decomposed into driver stages; each stage is solved with
+    the selected engine and the results chained — buffer input arrival plus
+    the buffer's (corner-scaled) intrinsic and slew-dependent delay gives
+    the next stage's launch time. Rising and falling source transitions
+    are propagated separately (inverters flip the edge per stage), at every
+    corner of the technology.
+
+    Every call increments a global evaluation counter, mirroring the
+    paper's count of SPICE runs (Table V). *)
+
+type engine =
+  | Elmore_model  (** construction-time estimates only *)
+  | Arnoldi       (** two-pole moment matching, fast and accurate *)
+  | Spice         (** backward-Euler transient — the reference *)
+
+type transition = Rise | Fall
+
+val flip : transition -> transition
+
+type run = {
+  corner : Tech.Corner.t;
+  transition : transition;  (** at the clock source output *)
+  latency : float array;
+      (** node id → arrival of the 50 % crossing, meaningful at sinks and
+          buffer inputs *)
+  slew : float array;       (** node id → 10–90 % slew at that pin *)
+  worst_slew : float;
+  worst_slew_node : int;
+}
+
+type t = {
+  runs : run list;
+  sinks : int array;
+  skew_rise : float;  (** nominal-corner skew for the source-rise runs *)
+  skew_fall : float;
+  skew : float;       (** max of the two, ps *)
+  t_min : float;      (** least nominal sink latency over both transitions *)
+  t_max : float;      (** greatest nominal sink latency *)
+  clr : float;
+      (** max over transitions of (max latency at the slow corner − min
+          latency at the fast corner); equals skew when only one corner is
+          configured *)
+  slew_violations : int;  (** taps beyond the slew limit, over all runs *)
+  cap_ok : bool;
+  stats : Ctree.Stats.t;
+}
+
+val evaluate : ?engine:engine -> ?seg_len:int -> Ctree.Tree.t -> t
+
+(** The nominal-corner run for a source transition. *)
+val nominal_run : t -> transition -> run
+
+(** [ok t] — no slew violations and within the capacitance budget. *)
+val ok : t -> bool
+
+val eval_count : unit -> int
+val reset_eval_count : unit -> unit
+
+val pp_summary : Format.formatter -> t -> unit

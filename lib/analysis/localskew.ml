@@ -1,0 +1,50 @@
+open Geometry
+module Tree = Ctree.Tree
+
+let compute (run : Evaluator.run) ~tree ~radius =
+  if radius <= 0 then invalid_arg "Localskew.compute: radius <= 0";
+  let sinks = Tree.sinks tree in
+  (* Bucket sinks on a grid of pitch [radius]; any pair within the radius
+     lives in the same or neighbouring buckets. *)
+  let buckets = Hashtbl.create (Array.length sinks) in
+  Array.iter
+    (fun s ->
+      let p = (Tree.node tree s).Tree.pos in
+      let key = (p.Point.x / radius, p.Point.y / radius) in
+      Hashtbl.replace buckets key
+        (s :: (try Hashtbl.find buckets key with Not_found -> [])))
+    sinks;
+  let worst = ref 0. in
+  let consider a b =
+    let pa = (Tree.node tree a).Tree.pos and pb = (Tree.node tree b).Tree.pos in
+    if Point.dist pa pb <= radius then begin
+      let d =
+        Float.abs
+          (run.Evaluator.latency.(a) -. run.Evaluator.latency.(b))
+      in
+      if Float.is_finite d && d > !worst then worst := d
+    end
+  in
+  Hashtbl.iter
+    (fun (bx, by) members ->
+      (* within the bucket *)
+      let rec pairs = function
+        | a :: rest ->
+          List.iter (consider a) rest;
+          pairs rest
+        | [] -> ()
+      in
+      pairs members;
+      (* against forward neighbour buckets only, to visit each pair once *)
+      List.iter
+        (fun (dx, dy) ->
+          match Hashtbl.find_opt buckets (bx + dx, by + dy) with
+          | Some others ->
+            List.iter (fun a -> List.iter (consider a) others) members
+          | None -> ())
+        [ (1, 0); (0, 1); (1, 1); (1, -1) ])
+    buckets;
+  !worst
+
+let profile run ~tree ~radii =
+  List.map (fun r -> (r, compute run ~tree ~radius:r)) radii

@@ -1,0 +1,19 @@
+(** Local skew: the worst latency difference between *nearby* sink pairs.
+
+    Global skew counts latency spread between arbitrary sinks, but only
+    sinks that actually exchange data constrain the clock — and
+    communicating registers are physically close. Industrial sign-off
+    therefore also reports skew restricted to sink pairs within a distance
+    window; a tree can trade harmless far-apart skew for tighter local
+    alignment. *)
+
+(** [compute run ~tree ~radius] — worst |latency difference| over sink
+    pairs at Manhattan distance ≤ [radius] nm, using the latencies of one
+    evaluation run. 0 for fewer than two sinks in every neighbourhood.
+    Bucketised: O(n) in practice. *)
+val compute :
+  Evaluator.run -> tree:Ctree.Tree.t -> radius:int -> float
+
+(** Local skew at several radii, smallest first: [(radius, skew)]. *)
+val profile :
+  Evaluator.run -> tree:Ctree.Tree.t -> radii:int list -> (int * float) list

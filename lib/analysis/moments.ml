@@ -1,0 +1,98 @@
+(* Recursive path-resistance moments: m_j(i) = Σ_k R(root→i ∧ root→k) ·
+   C_k · m_{j-1}(k), with m_0 ≡ 1 and the driver resistance on the path to
+   every node. For H(s) = Σ (-1)^j m_j s^j of an RC tree all m_j are
+   positive. *)
+
+let moment_pass (rc : Rcnet.t) ~r_drv ~weights =
+  let down = Array.copy weights in
+  for i = rc.size - 1 downto 1 do
+    down.(rc.parent.(i)) <- down.(rc.parent.(i)) +. down.(i)
+  done;
+  let m = Array.make rc.size 0. in
+  if rc.size > 0 then m.(0) <- Tech.Units.ps_of_rc r_drv down.(0);
+  for i = 1 to rc.size - 1 do
+    m.(i) <- m.(rc.parent.(i)) +. Tech.Units.ps_of_rc rc.res.(i) down.(i)
+  done;
+  m
+
+let moments (rc : Rcnet.t) ~r_drv =
+  let m1 = moment_pass rc ~r_drv ~weights:rc.cap in
+  let w2 = Array.mapi (fun i c -> c *. m1.(i)) rc.cap in
+  let m2 = moment_pass rc ~r_drv ~weights:w2 in
+  let w3 = Array.mapi (fun i c -> c *. m2.(i)) rc.cap in
+  let m3 = moment_pass rc ~r_drv ~weights:w3 in
+  (m1, m2, m3)
+
+type model =
+  | One_pole of float                          (* tau *)
+  | Two_pole of { p1 : float; p2 : float; k1 : float; k2 : float }
+
+let fit ~m1 ~m2 ~m3 =
+  let denom = m2 -. (m1 *. m1) in
+  if denom <= 1e-9 *. m1 *. m1 || m1 <= 0. then One_pole (max m1 1e-6)
+  else begin
+    let d1 = (m3 -. (m1 *. m2)) /. denom in
+    let d2 = (d1 *. m1) -. m2 in
+    let c1 = d1 -. m1 in
+    let disc = (d1 *. d1) -. (4. *. d2) in
+    if d2 <= 0. || disc < 0. then One_pole m1
+    else begin
+      let sq = sqrt disc in
+      let p1 = (-.d1 +. sq) /. (2. *. d2) in
+      let p2 = (-.d1 -. sq) /. (2. *. d2) in
+      if p1 >= 0. || p2 >= 0. || p1 = p2 then One_pole m1
+      else begin
+        let k p other = (1. +. (c1 *. p)) /. (d2 *. p *. (p -. other)) in
+        let k1 = k p1 p2 and k2 = k p2 p1 in
+        (* The fit must satisfy v(0+) = 1 + k1 + k2 ≈ 0 and stay causal;
+           reject wild fits. *)
+        if Float.abs (1. +. k1 +. k2) > 0.05 then One_pole m1
+        else Two_pole { p1; p2; k1; k2 }
+      end
+    end
+  end
+
+(* Integral of the step response from 0 to t. *)
+let step_integral model t =
+  match model with
+  | One_pole tau -> t -. (tau *. (1. -. exp (-.t /. tau)))
+  | Two_pole { p1; p2; k1; k2 } ->
+    t
+    +. ((k1 /. p1) *. (exp (p1 *. t) -. 1.))
+    +. ((k2 /. p2) *. (exp (p2 *. t) -. 1.))
+
+(* Response at time t to a saturated ramp of duration [ramp]. *)
+let ramp_response model ~ramp t =
+  if t <= 0. then 0.
+  else
+    let hi = step_integral model t in
+    let lo = if t <= ramp then 0. else step_integral model (t -. ramp) in
+    (hi -. lo) /. ramp
+
+let crossing model ~ramp ~tau_hint threshold =
+  (* The ramp response is monotone for RC-tree-like models; bisection. *)
+  let hi = ref (ramp +. (20. *. tau_hint) +. 1.) in
+  let guard = ref 0 in
+  while ramp_response model ~ramp !hi < threshold && !guard < 60 do
+    hi := !hi *. 2.;
+    incr guard
+  done;
+  let lo = ref 0. and hi = ref !hi in
+  for _ = 1 to 64 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if ramp_response model ~ramp mid < threshold then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let solve (rc : Rcnet.t) ~r_drv ~s_drv =
+  let m1, m2, m3 = moments rc ~r_drv in
+  let ramp = s_drv /. 0.8 in
+  Array.map
+    (fun (i, _) ->
+      let model = fit ~m1:m1.(i) ~m2:m2.(i) ~m3:m3.(i) in
+      let tau_hint = m1.(i) in
+      let t50 = crossing model ~ramp ~tau_hint 0.5 in
+      let t10 = crossing model ~ramp ~tau_hint 0.1 in
+      let t90 = crossing model ~ramp ~tau_hint 0.9 in
+      (t50 -. (ramp /. 2.), t90 -. t10))
+    rc.taps

@@ -1,0 +1,17 @@
+(** Two-pole moment-matching engine (Arnoldi-approximation stand-in).
+
+    Matches the first three moments of each tap's transfer function with a
+    Padé (1,2) approximant, yielding a two-real-pole step response that
+    captures resistive shielding. Falls back to a single-pole model when
+    the fit degenerates. Used as the accurate-but-fast evaluator for
+    50K-sink scalability runs, as the paper suggests (§V footnote). *)
+
+(** Per-tap [(delay, slew)] in ps, measured on the response to a saturated
+    ramp through [r_drv]: delay from the ramp's 50 % point to the tap's
+    50 % crossing, slew as the 10–90 % interval. Indexed like
+    [rc.taps]. *)
+val solve : Rcnet.t -> r_drv:float -> s_drv:float -> (float * float) array
+
+(** First three moments (ps, ps², ps³) at every rc node, driver resistance
+    included. Exposed for tests. *)
+val moments : Rcnet.t -> r_drv:float -> float array * float array * float array

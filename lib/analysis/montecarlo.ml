@@ -1,0 +1,113 @@
+module Tree = Ctree.Tree
+
+type spec = {
+  trials : int;
+  sigma_buffer : float;
+  sigma_wire : float;
+  seed : int;
+  engine : Evaluator.engine;
+}
+
+let default_spec =
+  { trials = 30; sigma_buffer = 0.05; sigma_wire = 0.02; seed = 1;
+    engine = Evaluator.Spice }
+
+type result = {
+  nominal_skew : float;
+  mean_skew : float;
+  max_skew : float;
+  std_skew : float;
+  mean_latency : float;
+}
+
+(* Minimal Gaussian PRNG (Box–Muller over splitmix64), independent of the
+   global Random state so trials are reproducible. *)
+module Prng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let uniform t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+  let normal t =
+    let u1 = Float.max 1e-12 (uniform t) and u2 = uniform t in
+    sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+end
+
+(* Perturb a buffer's drive strength by scaling its base device's
+   resistances; count and capacitances stay (strength variation, not a
+   different cell). *)
+let perturb_buffer rng sigma (b : Tech.Composite.t) =
+  let f = Float.max 0.5 (1. +. (sigma *. Prng.normal rng)) in
+  let d = b.Tech.Composite.base in
+  let d' =
+    Tech.Device.make ~name:d.Tech.Device.name ~c_in:d.Tech.Device.c_in
+      ~c_out:d.Tech.Device.c_out
+      ~r_up:(d.Tech.Device.r_up *. f)
+      ~r_down:(d.Tech.Device.r_down *. f)
+      ~d_intrinsic:(d.Tech.Device.d_intrinsic *. f)
+      ~slew_coeff:d.Tech.Device.slew_coeff
+      ~inverting:d.Tech.Device.inverting ()
+  in
+  Tech.Composite.make d' b.Tech.Composite.count
+
+(* Wire resistance variation: model as extra/less snake-equivalent length
+   is wrong (changes C too); instead jitter via the wire class is global.
+   We approximate per-wire R variation by scaling the snake... no — use a
+   dedicated per-wire jitter on [geom_len] electrical length for R and C
+   together, the dominant intra-die interconnect effect (width/thickness
+   variation moves both). *)
+let perturb_wire rng sigma (nd : Tree.node) =
+  if sigma > 0. && Tree.wire_len nd > 0 then begin
+    let f = Float.max 0.7 (1. +. (sigma *. Prng.normal rng)) in
+    let len = float_of_int (Tree.wire_len nd) in
+    let target = int_of_float (len *. f) in
+    (* keep geometry; express the perturbation as snake delta, clamped so
+       electrical length stays >= geometric *)
+    nd.Tree.snake <- max 0 (nd.Tree.snake + (target - Tree.wire_len nd))
+  end
+
+let run spec tree =
+  if spec.trials < 1 then invalid_arg "Montecarlo.run: trials < 1";
+  let nominal = Evaluator.evaluate ~engine:spec.engine tree in
+  let rng = Prng.create spec.seed in
+  let skews = ref [] and lats = ref [] in
+  for _ = 1 to spec.trials do
+    let t = Tree.copy tree in
+    Tree.iter t (fun nd ->
+        (match nd.Tree.kind with
+        | Tree.Buffer b ->
+          nd.Tree.kind <- Tree.Buffer (perturb_buffer rng spec.sigma_buffer b)
+        | _ -> ());
+        if nd.Tree.parent >= 0 then perturb_wire rng spec.sigma_wire nd);
+    let ev = Evaluator.evaluate ~engine:spec.engine t in
+    skews := ev.Evaluator.skew :: !skews;
+    lats := ev.Evaluator.t_max :: !lats
+  done;
+  let n = float_of_int spec.trials in
+  let mean xs = List.fold_left ( +. ) 0. xs /. n in
+  let mean_skew = mean !skews in
+  let std_skew =
+    sqrt (mean (List.map (fun s -> (s -. mean_skew) ** 2.) !skews))
+  in
+  {
+    nominal_skew = nominal.Evaluator.skew;
+    mean_skew;
+    max_skew = List.fold_left Float.max 0. !skews;
+    std_skew;
+    mean_latency = mean !lats;
+  }

@@ -1,0 +1,36 @@
+(** Monte-Carlo intra-die variation analysis.
+
+    The paper motivates its CLR objective and buffer-strengthening steps
+    with process variations: "intra-die variations may be stronger on some
+    paths than on others, which would further increase effective skew"
+    (§I), and "the impact of variations on skew is best reduced by (i)
+    decreasing sink latency and (ii) using the strongest possible buffers"
+    (§IV-H). This module checks those claims directly: each trial draws an
+    independent Gaussian strength perturbation per buffer instance (and
+    optionally per wire), re-evaluates the tree, and reports the skew
+    distribution. *)
+
+type spec = {
+  trials : int;        (** Monte-Carlo samples (default 30) *)
+  sigma_buffer : float;
+      (** relative std-dev of each buffer's drive resistance (default
+          0.05 — 5 % strength variation) *)
+  sigma_wire : float;
+      (** relative std-dev of each wire's resistance (default 0.02) *)
+  seed : int;
+  engine : Evaluator.engine;
+}
+
+val default_spec : spec
+
+type result = {
+  nominal_skew : float;
+  mean_skew : float;
+  max_skew : float;    (** worst skew over all trials — "effective skew" *)
+  std_skew : float;
+  mean_latency : float;
+}
+
+(** [run spec tree] — the input tree is not modified; each trial
+    evaluates a perturbed deep copy. *)
+val run : spec -> Ctree.Tree.t -> result

@@ -1,0 +1,79 @@
+module Tree = Ctree.Tree
+
+(* Node naming: n<i> is the electrical net at ctree node i; inverter
+   internals get suffixes. The clock root is driven by a PULSE source
+   through the technology's source resistance. *)
+
+let to_string ?(seg_len = 30_000) ?(t_stop = 2000.) tree =
+  let tech = Tree.tech tree in
+  let buf = Buffer.create 65536 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let vdd = 1.2 in
+  pf "* Contango clock tree export (%d nodes)\n" (Tree.size tree);
+  pf "* units: R ohm, C fF (printed as fF -> f), T ps (printed as ps -> p)\n";
+  pf ".param vdd=%g\n" vdd;
+  let rcount = ref 0 and ccount = ref 0 and bcount = ref 0 in
+  let fresh p c = incr c; Printf.sprintf "%s%d" p !c in
+  (* Driver source at the clock root. *)
+  let slew = tech.Tech.source_slew in
+  pf "Vclk nsrc 0 PULSE(0 %g 50p %gp %gp %gp %gp)\n" vdd (slew /. 0.8)
+    (slew /. 0.8) (t_stop /. 2.) t_stop;
+  pf "Rsrc nsrc n0 %g\n" tech.Tech.source_r;
+  (* Wires, sinks, inverters. *)
+  Tree.iter tree (fun nd ->
+      let i = nd.Tree.id in
+      (* Wire from parent's output net to this node. Inverter nodes own an
+         input net n<i> and output net n<i>o. *)
+      if nd.Tree.parent >= 0 then begin
+        let parent = nd.Tree.parent in
+        let parent_net =
+          match (Tree.node tree parent).Tree.kind with
+          | Tree.Buffer _ -> Printf.sprintf "n%do" parent
+          | _ -> Printf.sprintf "n%d" parent
+        in
+        let len = Tree.wire_len nd in
+        let wire = Tree.wire_of tree nd in
+        let nseg = max 1 ((len + seg_len - 1) / seg_len) in
+        let seg_r = Tech.Wire.res wire len /. float_of_int nseg in
+        let seg_c = Tech.Wire.cap wire len /. float_of_int nseg in
+        let prev = ref parent_net in
+        for s = 1 to nseg do
+          let nxt =
+            if s = nseg then Printf.sprintf "n%d" i
+            else Printf.sprintf "n%d_w%d" i s
+          in
+          pf "%s %s %s %g\n" (fresh "R" rcount) !prev nxt seg_r;
+          pf "%s %s 0 %gf\n" (fresh "C" ccount) nxt seg_c;
+          prev := nxt
+        done
+      end;
+      match nd.Tree.kind with
+      | Tree.Sink s ->
+        pf "* sink %s\n" s.Tree.label;
+        pf "%s n%d 0 %gf\n" (fresh "C" ccount) i s.Tree.cap
+      | Tree.Buffer b ->
+        incr bcount;
+        (* Input pin cap; behavioural inverter through the average output
+           resistance into the output parasitic. *)
+        pf "* composite inverter %s at node %d\n" (Tech.Composite.name b) i;
+        pf "%s n%d 0 %gf\n" (fresh "C" ccount) i (Tech.Composite.c_in b);
+        pf "B%d n%di 0 V='(V(n%d) < vdd/2) ? vdd : 0'\n" i i i;
+        pf "%s n%di n%do %g\n" (fresh "R" rcount) i i (Tech.Composite.r_out b);
+        pf "%s n%do 0 %gf\n" (fresh "C" ccount) i (Tech.Composite.c_out b)
+      | Tree.Source | Tree.Internal -> ());
+  (* Measurements per sink. *)
+  Array.iter
+    (fun s ->
+      pf ".measure tran t50_%d WHEN V(n%d)=%g RISE=1\n" s s (vdd /. 2.);
+      pf ".measure tran slew_%d TRIG V(n%d) VAL=%g RISE=1 TARG V(n%d) VAL=%g RISE=1\n"
+        s s (0.1 *. vdd) s (0.9 *. vdd))
+    (Tree.sinks tree);
+  pf ".tran 1p %gp\n" t_stop;
+  pf ".end\n";
+  Buffer.contents buf
+
+let write_file path ?seg_len ?t_stop tree =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?seg_len ?t_stop tree))

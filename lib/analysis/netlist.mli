@@ -1,0 +1,21 @@
+(** SPICE netlist export.
+
+    Writes the buffered clock tree as an ngspice-compatible deck so the
+    results of the built-in evaluator can be cross-checked against a real
+    circuit simulator (the paper's flow is evaluator-agnostic — "any
+    accurate delay evaluator can be used", §V).
+
+    Modelling matches the built-in evaluator: wires become segmented RC
+    ladders, sinks become grounded capacitors, and each composite inverter
+    becomes a subcircuit with an input pin capacitance and a
+    behavioural-source driver switching through its output resistance into
+    its output parasitic. The deck includes a PULSE source at the clock
+    root, a [.tran] analysis, and one [.measure] pair (50 % delay, 10–90 %
+    slew) per sink. *)
+
+(** [to_string ?seg_len ?t_stop tree] renders the deck. [seg_len] is the
+    wire segmentation (default 30 µm); [t_stop] the transient horizon in
+    ps (default 2000). *)
+val to_string : ?seg_len:int -> ?t_stop:float -> Ctree.Tree.t -> string
+
+val write_file : string -> ?seg_len:int -> ?t_stop:float -> Ctree.Tree.t -> unit

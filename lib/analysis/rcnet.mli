@@ -1,0 +1,33 @@
+(** Expansion of a buffered clock tree into driver stages.
+
+    A stage is everything one driver (the clock source or a buffer output)
+    sees: the RC interconnect up to — and including — the input pins of
+    downstream buffers and the sink loads. Wires are segmented into π
+    models so that resistive shielding is visible to the accurate
+    engines. *)
+
+type tap_kind =
+  | Tap_sink of int    (** ctree node id of the sink *)
+  | Tap_buffer of int  (** ctree node id of the downstream buffer *)
+
+type t = {
+  parent : int array;  (** rc-node parent; -1 for the driver output node *)
+  res : float array;   (** Ω, edge to parent; unused at index of the root *)
+  cap : float array;   (** grounded capacitance, fF (loads included) *)
+  taps : (int * tap_kind) array;  (** rc node index paired with the tap *)
+  size : int;
+}
+
+type stage = {
+  driver : int;  (** ctree node id of the source or buffer driving this stage *)
+  rc : t;
+}
+
+(** All stages of a tree in topological order (the source stage first, each
+    buffer's stage after the stage containing that buffer's input).
+    [seg_len] is the maximum wire-segment length in nm (default 30 µm). *)
+val stages : ?seg_len:int -> Ctree.Tree.t -> stage list
+
+(** Total downstream capacitance of the stage (wires + loads), fF.
+    Excludes the driver's own output parasitic. *)
+val total_cap : t -> float

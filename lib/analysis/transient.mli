@@ -1,0 +1,21 @@
+(** Backward-Euler transient simulation of a driver stage — the
+    ngSPICE/HSPICE substitute.
+
+    The stage's RC tree is driven through the Thevenin resistance [r_drv]
+    by a saturated 0→1 ramp with 10–90 % slew [s_drv]. Each timestep solves
+    the tree-structured linear system exactly in O(n) (one leaf-elimination
+    factorisation reused across steps). Tap voltages are monitored and the
+    10/50/90 % crossing times recovered by linear interpolation. *)
+
+(** Per-tap [(delay, slew)] in ps: delay from the driver ramp's 50 % point
+    to the tap's 50 % crossing; slew is the 10–90 % interval. Indexed like
+    [rc.taps]. [step] is the timestep in ps (default 0.5). *)
+val solve :
+  ?step:float -> Rcnet.t -> r_drv:float -> s_drv:float ->
+  (float * float) array
+
+(** Full waveform probe for tests: voltages of a chosen rc node sampled at
+    the given times (which must be ascending). *)
+val probe :
+  ?step:float -> Rcnet.t -> r_drv:float -> s_drv:float -> node:int ->
+  times:float array -> float array

@@ -1,0 +1,26 @@
+(** Classic van Ginneken buffer insertion (exact dynamic program, O(n²)
+    in the number of candidate positions).
+
+    Minimises the worst source-to-sink Elmore delay of an unbuffered tree
+    by inserting copies of one composite buffer at positions spaced every
+    [step] nm of electrical wirelength, subject to a load-capacitance
+    ceiling per driver (the slew constraint in Elmore terms). Sink polarity
+    is deliberately ignored — Contango corrects it afterwards (§IV-D). *)
+
+exception Infeasible of string
+
+(** [insert tree ~buf ~cap_ceiling] returns a new tree; the input is
+    unchanged. [step] defaults to 100 µm. [forbidden] marks positions
+    where no buffer may be placed (obstacle interiors; default none) —
+    candidate positions there are skipped, so wires cross blockages
+    unbuffered exactly as the ISPD'09 rules require.
+    @raise Infeasible when a sink load alone exceeds the ceiling or the
+    tree contains buffers already. *)
+val insert :
+  Ctree.Tree.t -> buf:Tech.Composite.t -> ?step:int ->
+  ?forbidden:(Geometry.Point.t -> bool) -> cap_ceiling:float ->
+  unit -> Ctree.Tree.t
+
+(** Placement count of the last [insert] on this tree — exposed for
+    tests/reporting. Returns the number of buffers inserted. *)
+val last_inserted : unit -> int

@@ -1,0 +1,57 @@
+module Tree = Ctree.Tree
+module Evaluator = Analysis.Evaluator
+
+type result = {
+  eval : Evaluator.t;
+  rounds : int;
+  downsized : int;
+  snaked_wires : int;
+}
+
+(* Downsize sink wires whose per-sink slow-down slack affords the
+   predicted impact, within slew headroom. *)
+let bottom_sizing_pass config tree ~eval ~correction ~scale ~count =
+  let factor = config.Config.damping *. scale in
+  let slacks =
+    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
+  in
+  let headrooms = Probes.subtree_slew_headroom tree eval in
+  let sens = Probes.sensitivities tree in
+  Array.iter
+    (fun s ->
+      let nd = Tree.node tree s in
+      if nd.Tree.wire_class > 0 then begin
+        let len = float_of_int (Tree.wire_len nd) in
+        let impact = correction *. sens.Probes.size_delay.(s) *. len in
+        let slew_impact = correction *. sens.Probes.size_slew.(s) *. len in
+        let available = slacks.Slack.sink_slow.(s) *. factor in
+        if impact > 0. && available > impact
+           && slew_impact < 0.5 *. (headrooms.(s) -. 5.)
+        then begin
+          nd.Tree.wire_class <- nd.Tree.wire_class - 1;
+          incr count
+        end
+      end)
+    (Tree.sinks tree)
+
+let run config tree ~baseline =
+  let tws, size_corr = Wiresizing.estimate_tws config tree ~baseline in
+  let twn, snake_corr = Wiresnaking.estimate_twn config tree ~baseline in
+  let downsized = ref 0 and snaked = ref 0 and dummy = ref 0 in
+  let baseline, r1, _ =
+    if tws > 0. then
+      Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
+        (fun ~scale t ev ->
+          bottom_sizing_pass config t ~eval:ev ~correction:size_corr ~scale
+            ~count:downsized)
+    else (baseline, 0, 0)
+  in
+  let eval, r2, _ =
+    if twn > 0. then
+      Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
+        (fun ~scale t ev ->
+          Wiresnaking.bottom_pass config t ~eval:ev ~correction:snake_corr
+            ~scale ~count:snaked ~added:dummy)
+    else (baseline, 0, 0)
+  in
+  { eval; rounds = r1 + r2; downsized = !downsized; snaked_wires = !snaked }

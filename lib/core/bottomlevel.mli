@@ -1,0 +1,18 @@
+(** Bottom-level fine-tuning (paper §IV-G) — "BWSN".
+
+    After the two top-down phases, skew is small enough that only the
+    wires directly feeding sinks are adjusted, where the impact on skew is
+    most predictable: per-sink slack drives wire downsizing and snaking of
+    the sink wires, iterated under IVC until results stop improving. The
+    typical gain is small in absolute terms but a significant fraction of
+    the remaining skew; rise/fall divergence eventually stops progress. *)
+
+type result = {
+  eval : Analysis.Evaluator.t;
+  rounds : int;
+  downsized : int;
+  snaked_wires : int;
+}
+
+val run :
+  Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t -> result

@@ -1,0 +1,141 @@
+module Tree = Ctree.Tree
+module Evaluator = Analysis.Evaluator
+
+type result = {
+  eval : Evaluator.t;
+  trunk_rounds : int;
+  branch_rounds : int;
+}
+
+let scale_buffer tree id f =
+  match (Tree.node tree id).Tree.kind with
+  | Tree.Buffer b -> (Tree.node tree id).Tree.kind <- Tree.Buffer (Tech.Composite.scale b f)
+  | _ -> invalid_arg "Buffer_sizing: not a buffer"
+
+let buffer_depths tree =
+  (* Number of buffer ancestors (strictly above) per node. *)
+  let n = Tree.size tree in
+  let d = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      let nd = Tree.node tree i in
+      if nd.Tree.parent >= 0 then begin
+        let pd = d.(nd.Tree.parent) in
+        let pbuf =
+          match (Tree.node tree nd.Tree.parent).Tree.kind with
+          | Tree.Buffer _ -> 1
+          | _ -> 0
+        in
+        d.(i) <- pd + pbuf
+      end)
+    (Tree.topo_order tree);
+  d
+
+let bottom_buffers tree =
+  let has_buf_descendant = Array.make (Tree.size tree) false in
+  Array.iter
+    (fun i ->
+      let nd = Tree.node tree i in
+      if nd.Tree.parent >= 0 then begin
+        let self_or_below =
+          has_buf_descendant.(i)
+          || match nd.Tree.kind with Tree.Buffer _ -> true | _ -> false
+        in
+        if self_or_below then has_buf_descendant.(nd.Tree.parent) <- true
+      end)
+    (Tree.post_order tree);
+  Array.to_list (Tree.buffer_ids tree)
+  |> List.filter (fun id -> not has_buf_descendant.(id))
+
+let cin_sum tree ids =
+  List.fold_left
+    (fun acc id ->
+      match (Tree.node tree id).Tree.kind with
+      | Tree.Buffer b -> acc +. Tech.Composite.c_in b
+      | _ -> acc)
+    0. ids
+
+(* Speed-up pass (§III-B: "if any speed-up is possible, e.g., by using
+   stronger buffers, it is performed first"): upsize the buffers driving
+   critical subtrees — those whose edge slow-down slack is small, i.e.
+   containing the slowest sinks. Reduces Tmax (and improves slews) rather
+   than slowing the fast side, which costs slew headroom. *)
+let speedup_pass config tree ~eval ~scale =
+  let slacks =
+    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
+  in
+  let sens = Probes.sensitivities tree in
+  let k = Tech.Units.rc_to_ps in
+  let skew = ref 0. in
+  Array.iter
+    (fun s -> skew := Float.max !skew slacks.Slack.sink_slow.(s))
+    (Tree.sinks tree);
+  let threshold = 0.25 *. !skew in
+  let f = 1. +. (0.20 *. scale) in
+  Array.iter
+    (fun id ->
+      if slacks.Slack.slow.(id) < threshold then begin
+        match (Tree.node tree id).Tree.kind with
+        | Tree.Buffer b ->
+          (* Net benefit of upsizing by f: the output stage speeds up by
+             ΔR·Cdown, the input stage slows by Rup·ΔCin; upsize only when
+             the first term clearly wins. *)
+          let dr = Tech.Composite.r_out b *. (1. -. (1. /. f)) in
+          let dcin = Tech.Composite.c_in b *. (f -. 1.) in
+          let gain = k *. dr *. sens.Probes.cdown.(id) in
+          let cost = k *. sens.Probes.rup.(id) *. dcin in
+          if gain > 1.5 *. cost then scale_buffer tree id f
+        | _ -> ()
+      end)
+    (Tree.buffer_ids tree)
+
+let speedup config tree ~baseline =
+  let eval, rounds, _ =
+    Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
+      (fun ~scale t ev -> speedup_pass config t ~eval:ev ~scale)
+  in
+  (eval, rounds)
+
+let run config tree ~baseline =
+  (* Trunk sizing: p_i = 100/(i+3) percent at iteration i. *)
+  let iteration = ref 0 in
+  let eval, trunk_rounds =
+    Ivc.iterate config tree ~baseline ~objective:Ivc.Clr (fun t _ev ->
+        incr iteration;
+        let p = 100. /. float_of_int (!iteration + 3) in
+        let f = 1. +. (p /. 100.) in
+        List.iter (fun id -> scale_buffer t id f) (Buffer_slide.trunk_buffers t))
+  in
+  (* Branch sizing with capacitance borrowing. *)
+  let branch_round = ref 0 in
+  let eval, branch_rounds =
+    Ivc.iterate config tree ~baseline:eval ~objective:Ivc.Clr (fun t _ev ->
+        incr branch_round;
+        let p = 100. /. float_of_int (!branch_round + 4) in
+        let f = 1. +. (p /. 100.) in
+        let depths = buffer_depths t in
+        let trunk = Buffer_slide.trunk_buffers t in
+        let trunk_levels = List.length trunk in
+        let targets =
+          Array.to_list (Tree.buffer_ids t)
+          |> List.filter (fun id ->
+                 let d = depths.(id) in
+                 d >= trunk_levels
+                 && d < trunk_levels + config.Config.branch_levels
+                 && not (List.mem id trunk))
+        in
+        let donors =
+          let targets_set = targets in
+          bottom_buffers t
+          |> List.filter (fun id -> not (List.mem id targets_set))
+        in
+        let before_cap = cin_sum t targets in
+        List.iter (fun id -> scale_buffer t id f) targets;
+        let added = cin_sum t targets -. before_cap in
+        let donor_cap = cin_sum t donors in
+        if donor_cap > added && added > 0. then begin
+          let g = (donor_cap -. added) /. donor_cap in
+          List.iter (fun id -> scale_buffer t id (Float.max 0.3 g)) donors
+        end)
+  in
+  { eval; trunk_rounds; branch_rounds }

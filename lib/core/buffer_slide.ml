@@ -1,0 +1,163 @@
+open Geometry
+module Tree = Ctree.Tree
+
+type report = {
+  trunk_buffers_before : int;
+  trunk_buffers_after : int;
+  trunk_length : int;
+}
+
+let trunk_chain tree =
+  let rec walk id acc =
+    let nd = Tree.node tree id in
+    match (nd.Tree.kind, nd.Tree.children) with
+    | (Tree.Sink _, _) | (_, ([] | _ :: _ :: _)) -> List.rev (id :: acc)
+    | _, [ c ] -> walk c (id :: acc)
+  in
+  match (Tree.node tree (Tree.root tree)).Tree.children with
+  | [ c ] -> walk c []
+  | [] | _ :: _ :: _ -> []
+
+let trunk_buffers tree =
+  match trunk_chain tree with
+  | [] -> []
+  | chain ->
+    let body = List.filteri (fun i _ -> i < List.length chain - 1) chain in
+    List.filter
+      (fun id ->
+        match (Tree.node tree id).Tree.kind with
+        | Tree.Buffer _ -> true
+        | _ -> false)
+      body
+
+(* Concatenated embedding polyline of the whole trunk. *)
+let trunk_polyline tree chain =
+  let pts = ref [ (Tree.node tree (Tree.root tree)).Tree.pos ] in
+  List.iter
+    (fun id ->
+      let nd = Tree.node tree id in
+      let wire_pts =
+        match nd.Tree.route with
+        | [] ->
+          let p = (Tree.node tree nd.Tree.parent).Tree.pos in
+          let b = Segment.L.bend nd.Tree.bend p nd.Tree.pos in
+          if Point.equal b p || Point.equal b nd.Tree.pos then [ nd.Tree.pos ]
+          else [ b; nd.Tree.pos ]
+        | route -> List.tl route
+      in
+      pts := List.rev_append wire_pts !pts)
+    chain;
+  List.rev !pts
+
+let polyline_length pts =
+  match pts with
+  | [] | [ _ ] -> 0
+  | first :: _ ->
+    snd
+      (List.fold_left
+         (fun (prev, acc) p -> (p, acc + Point.dist prev p))
+         (first, 0) pts)
+
+(* Point at arc distance d, plus the polyline suffix from that point. *)
+let split_at pts d =
+  let rec walk prev remaining = function
+    | [] -> (prev, [ prev ])
+    | p :: rest ->
+      let step = Point.dist prev p in
+      if remaining <= step then begin
+        let q =
+          if step = 0 then p
+          else
+            let f a b = a + ((b - a) * remaining / step) in
+            Point.make (f prev.Point.x p.Point.x) (f prev.Point.y p.Point.y)
+        in
+        (q, q :: (if Point.equal q p then rest else p :: rest))
+      end
+      else walk p (remaining - step) rest
+  in
+  match pts with
+  | [] -> invalid_arg "split_at: empty polyline"
+  | first :: rest -> walk first d rest
+
+let respace tree ~ceiling =
+  let chain = trunk_chain tree in
+  let buffers = trunk_buffers tree in
+  if buffers = [] || chain = [] then
+    ( tree,
+      { trunk_buffers_before = 0; trunk_buffers_after = 0; trunk_length = 0 } )
+  else begin
+    let tree = Tree.copy tree in
+    let branch = List.nth chain (List.length chain - 1) in
+    let composite =
+      match (Tree.node tree (List.hd buffers)).Tree.kind with
+      | Tree.Buffer b -> b
+      | _ -> assert false
+    in
+    let wire_class = (Tree.node tree (List.hd chain)).Tree.wire_class in
+    let polyline = trunk_polyline tree chain in
+    let geom_total = polyline_length polyline in
+    let elec_total =
+      List.fold_left (fun acc id -> acc + Tree.wire_len (Tree.node tree id)) 0 chain
+    in
+    (* Interleave in pairs until every span's wire capacitance plus the
+       next stage's input pin fits under the ceiling. *)
+    let tech = Tree.tech tree in
+    let wire = Tech.wire tech wire_class in
+    let span_ok k =
+      let span = float_of_int elec_total /. float_of_int (k + 1) in
+      (wire.Tech.Wire.cap_per_nm *. span) +. Tech.Composite.c_in composite
+      <= ceiling
+    in
+    let k = ref (List.length buffers) in
+    while (not (span_ok !k)) && !k < List.length buffers + 32 do
+      k := !k + 2
+    done;
+    let k = !k in
+    (* Detach the old chain; rebuild an even chain along the polyline. *)
+    Tree.detach tree branch;
+    Tree.detach tree (List.hd chain);
+    let parent = ref (Tree.root tree) in
+    let remaining = ref polyline in
+    let consumed = ref 0 in
+    let span_elec = elec_total / (k + 1) in
+    for i = 1 to k do
+      let target = i * geom_total / (k + 1) in
+      let pos, suffix = split_at !remaining (target - !consumed) in
+      let id =
+        Tree.add_node tree ~kind:(Tree.Buffer composite) ~pos ~parent:!parent
+          ~wire_class ()
+      in
+      let nd = Tree.node tree id in
+      if List.length suffix >= 1 then begin
+        let prefix_pts =
+          (* points from previous position to pos *)
+          let rec take acc = function
+            | p :: rest when not (Point.equal p pos) -> take (p :: acc) rest
+            | _ -> List.rev (pos :: acc)
+          in
+          take [] !remaining
+        in
+        if List.length prefix_pts > 2 then Tree.set_route tree id prefix_pts
+        else nd.Tree.geom_len <- polyline_length prefix_pts
+      end;
+      nd.Tree.snake <- max 0 (span_elec - nd.Tree.geom_len);
+      consumed := target;
+      remaining := suffix;
+      parent := id
+    done;
+    (* Final span: reattach the branch node along the rest of the
+       polyline. *)
+    Tree.reparent tree branch ~new_parent:!parent;
+    let bn = Tree.node tree branch in
+    if List.length !remaining > 2 then Tree.set_route tree branch !remaining
+    else bn.Tree.geom_len <- polyline_length !remaining;
+    bn.Tree.snake <- max 0 (elec_total - (k * span_elec) - bn.Tree.geom_len);
+    bn.Tree.wire_class <- wire_class;
+    let tree, _ = Tree.compact tree in
+    ( tree,
+      {
+        trunk_buffers_before = List.length buffers;
+        trunk_buffers_after = k;
+        trunk_length = elec_total;
+      } )
+  end

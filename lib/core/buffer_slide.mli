@@ -1,0 +1,31 @@
+(** Buffer sliding and interleaving on the tree trunk (paper §IV-H).
+
+    DME trees fed from a chip-boundary source have a long trunk wire to
+    the first branch; it carries a chain of inverters responsible for a
+    third to half of the insertion delay. Sliding re-spaces that chain
+    evenly along the trunk (reducing the worst upstream wire span, so the
+    chain can later be upsized without slew violations); interleaving adds
+    inverters — in pairs, preserving sink polarity — when the spans remain
+    too capacitive for one driver. *)
+
+type report = {
+  trunk_buffers_before : int;
+  trunk_buffers_after : int;
+  trunk_length : int;  (** electrical trunk length, nm *)
+}
+
+(** Node ids of the trunk chain, top-down: from the root's child through
+    the first node with branching (or a sink); the last element is that
+    branch node. *)
+val trunk_chain : Ctree.Tree.t -> int list
+
+(** Buffer nodes on the trunk (branch node excluded), top-down. *)
+val trunk_buffers : Ctree.Tree.t -> int list
+
+(** Re-space (and if needed interleave) the trunk buffer chain evenly.
+    [ceiling] is the load-capacitance bound per driver used to decide
+    interleaving. Returns the rebuilt (compacted) tree — node ids change —
+    plus a report. Trees whose trunk has no buffers are returned
+    unchanged. *)
+val respace :
+  Ctree.Tree.t -> ceiling:float -> Ctree.Tree.t * report

@@ -1,0 +1,48 @@
+type t = {
+  engine : Analysis.Evaluator.engine;
+  seg_len : int;
+  gamma : float;
+  vg_step : int;
+  vg_buckets : int option;
+  composite_counts : int list;
+  polarity_buf_count : int;
+  snake_unit : int;
+  max_snake_per_round : int;
+  slew_margin : float;
+  damping : float;
+  max_rounds : int;
+  branch_levels : int;
+  multicorner_slacks : bool;
+  stage_balancing : bool;
+  elmore_prebalance : bool;
+}
+
+let default =
+  {
+    engine = Analysis.Evaluator.Spice;
+    seg_len = 30_000;
+    gamma = 0.10;
+    vg_step = 100_000;
+    vg_buckets = Some 48;
+    composite_counts = [ 64; 48; 32; 24; 16; 12; 8; 6; 4; 3; 2; 1 ];
+    polarity_buf_count = 0;
+    snake_unit = 2_000;
+    max_snake_per_round = 800_000;
+    slew_margin = 0.35;
+    damping = 0.85;
+    max_rounds = 150;
+    branch_levels = 4;
+    multicorner_slacks = true;
+    stage_balancing = true;
+    elmore_prebalance = true;
+  }
+
+let scalability =
+  {
+    default with
+    engine = Analysis.Evaluator.Arnoldi;
+    seg_len = 60_000;
+    vg_step = 150_000;
+    vg_buckets = Some 32;
+    max_rounds = 200;
+  }

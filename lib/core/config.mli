@@ -1,0 +1,50 @@
+(** Flow parameters of the Contango methodology. All defaults follow the
+    paper where it gives values (γ = 10 % power reserve, p_i = 100/(i+3) %
+    sizing steps); the rest are robust settings that required no per-design
+    tuning — a design goal the paper states explicitly. *)
+
+type t = {
+  engine : Analysis.Evaluator.engine;
+      (** evaluation engine for every CNE (default [Spice]) *)
+  seg_len : int;       (** RC segmentation granularity, nm *)
+  gamma : float;       (** power reserve kept for post-insertion steps *)
+  vg_step : int;       (** buffer candidate spacing for insertion, nm *)
+  vg_buckets : int option;
+      (** candidate-list quantisation; [None] = exact van Ginneken *)
+  composite_counts : int list;
+      (** parallel counts tried for composite buffers, strongest first *)
+  polarity_buf_count : int;
+      (** parallel count of polarity-correcting inverters; 0 means "use
+          the same composite as the insertion step chose" (the safe
+          default — a weak corrective inverter above a subtree sized for a
+          strong composite violates slew) *)
+  snake_unit : int;    (** l_wn — wiresnaking unit length, nm *)
+  max_snake_per_round : int;
+      (** per-wire snaking cap per round, nm — keeps any one round's
+          additions within slew margins; IVC and further rounds compound *)
+  slew_margin : float;
+      (** fraction of the slew limit the initial insertion must leave as
+          headroom for the wire optimizations (which slow wires down and
+          degrade slews); analogous to the γ power reserve *)
+  damping : float;     (** fraction of estimated slack consumed per round *)
+  max_rounds : int;    (** iteration cap per optimization *)
+  branch_levels : int;
+      (** tree levels after the first branch sized by capacitance
+          borrowing (§IV-I suggests 4–5) *)
+  multicorner_slacks : bool;
+      (** take slack minima across corners, not just rise/fall (§III-B) *)
+  stage_balancing : bool;
+      (** equalise per-path inverter counts after insertion (see
+          {!Stage_balance}); disable only for ablation studies *)
+  elmore_prebalance : bool;
+      (** run a cheap Elmore-engine snaking equalisation before the first
+          accurate evaluation (§III-A: simple analytical models first);
+          disable only for ablation studies *)
+}
+
+val default : t
+
+(** Default with the moment-matching engine and coarser knobs — the
+    configuration for 10K+-sink scalability runs (§V uses groups of large
+    inverters and a faster evaluator there). *)
+val scalability : t

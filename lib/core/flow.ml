@@ -1,0 +1,151 @@
+module Tree = Ctree.Tree
+module Evaluator = Analysis.Evaluator
+
+type step = Initial | Tbsz | Twsz | Twsn | Bwsn
+
+let step_name = function
+  | Initial -> "INITIAL"
+  | Tbsz -> "TBSZ"
+  | Twsz -> "TWSZ"
+  | Twsn -> "TWSN"
+  | Bwsn -> "BWSN"
+
+type trace_entry = {
+  step : step;
+  skew : float;
+  clr : float;
+  t_max : float;
+  eval_runs : int;
+  seconds : float;
+}
+
+type result = {
+  tree : Tree.t;
+  trace : trace_entry list;
+  final : Evaluator.t;
+  chosen_buf : Tech.Composite.t;
+  polarity : Polarity.report;
+  repair : Route.Repair.report option;
+  eval_runs : int;
+  seconds : float;
+}
+
+let initial_tree ?(config = Config.default) ~tech ~source ?(obstacles = [])
+    sinks =
+  let zst = Dme.Zst.build ~tech ~source sinks in
+  let inserted = Insertion.run ~obstacles config zst in
+  let polarity_buf =
+    if config.Config.polarity_buf_count = 0 then inserted.Insertion.buf
+    else
+      Tech.Composite.make inserted.Insertion.buf.Tech.Composite.base
+        config.Config.polarity_buf_count
+  in
+  let polarity =
+    Polarity.correct inserted.Insertion.tree ~buf:polarity_buf
+      ~strategy:Polarity.Minimal
+  in
+  (* Equalise per-path stage counts: the quantised van Ginneken variant
+     and the polarity patches can leave paths a stage pair apart, which
+     wire tuning cannot recover within slew limits. *)
+  if config.Config.stage_balancing then
+    ignore
+      (Stage_balance.equalize inserted.Insertion.tree
+         ~buf:inserted.Insertion.buf);
+  (inserted.Insertion.tree, inserted.Insertion.buf, polarity,
+   inserted.Insertion.repair)
+
+let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
+  let t0 = Unix.gettimeofday () in
+  let runs0 = Evaluator.eval_count () in
+  let evaluate t =
+    Evaluator.evaluate ~engine:config.Config.engine
+      ~seg_len:config.Config.seg_len t
+  in
+  let tree, chosen_buf, polarity, repair =
+    initial_tree ~config ~tech ~source ~obstacles sinks
+  in
+  let trace = ref [] in
+  let record step (ev : Evaluator.t) =
+    trace :=
+      {
+        step;
+        skew = ev.Evaluator.skew;
+        clr = ev.Evaluator.clr;
+        t_max = ev.Evaluator.t_max;
+        eval_runs = Evaluator.eval_count () - runs0;
+        seconds = Unix.gettimeofday () -. t0;
+      }
+      :: !trace
+  in
+  (* Elmore-driven pre-balance (§III-A: simple analytical models first):
+     the buffered tree out of the quantised DP can carry large path-delay
+     imbalance at scale; Elmore evaluations are near-free, so a snaking
+     equalisation under the Elmore engine recovers the bulk before any
+     accurate run is spent. *)
+  if config.Config.elmore_prebalance then begin
+    let pre_config =
+      { config with
+        Config.engine = Analysis.Evaluator.Elmore_model;
+        max_rounds = 30 }
+    in
+    let pre_eval =
+      Evaluator.evaluate ~engine:Analysis.Evaluator.Elmore_model
+        ~seg_len:config.Config.seg_len tree
+    in
+    ignore (Wiresnaking.run pre_config tree ~baseline:pre_eval)
+  end;
+  let initial_eval = evaluate tree in
+  record Initial initial_eval;
+  (* TBSZ: slide/interleave the trunk chain, then iterative sizing. *)
+  let ceiling =
+    Float.min
+      (Route.Slewcap.lumped ~tech ~buf:chosen_buf ())
+      (Route.Slewcap.wire_aware ~tech ~buf:chosen_buf ())
+  in
+  let slid, _slide_report = Buffer_slide.respace tree ~ceiling in
+  let tree, eval =
+    let ev = evaluate slid in
+    (* Keep the slid tree only if it did not break anything (IVC). *)
+    if
+      ev.Evaluator.slew_violations <= initial_eval.Evaluator.slew_violations
+      && ev.Evaluator.cap_ok
+    then (slid, ev)
+    else (tree, initial_eval)
+  in
+  let sized = Buffer_sizing.run config tree ~baseline:eval in
+  (* Speed-up before slow-down (§III-B): strengthen drivers of critical
+     subtrees so less slack has to be burned by the wire steps. *)
+  let sped, _ = Buffer_sizing.speedup config tree ~baseline:sized.Buffer_sizing.eval in
+  record Tbsz sped;
+  (* TWSZ *)
+  let wsz = Wiresizing.run config tree ~baseline:sped in
+  record Twsz wsz.Wiresizing.eval;
+  (* TWSN *)
+  let wsn = Wiresnaking.run config tree ~baseline:wsz.Wiresizing.eval in
+  record Twsn wsn.Wiresnaking.eval;
+  (* BWSN *)
+  let bl = Bottomlevel.run config tree ~baseline:wsn.Wiresnaking.eval in
+  (* "Further optimization is possible … at the cost of increased runtime"
+     (§I): when skew is still above the negligible band, run the wire
+     sequence once more — larger instances sometimes converge in two
+     passes. *)
+  let final_eval =
+    if bl.Bottomlevel.eval.Evaluator.skew > 5. then begin
+      let wsz2 = Wiresizing.run config tree ~baseline:bl.Bottomlevel.eval in
+      let wsn2 = Wiresnaking.run config tree ~baseline:wsz2.Wiresizing.eval in
+      let bl2 = Bottomlevel.run config tree ~baseline:wsn2.Wiresnaking.eval in
+      bl2.Bottomlevel.eval
+    end
+    else bl.Bottomlevel.eval
+  in
+  record Bwsn final_eval;
+  {
+    tree;
+    trace = List.rev !trace;
+    final = final_eval;
+    chosen_buf;
+    polarity;
+    repair;
+    eval_runs = Evaluator.eval_count () - runs0;
+    seconds = Unix.gettimeofday () -. t0;
+  }

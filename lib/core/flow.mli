@@ -1,0 +1,47 @@
+(** The end-to-end Contango methodology (paper Fig. 1):
+
+    ZST/DME construction → obstacle repair → composite-buffer analysis and
+    initial insertion with sizing → sink-polarity correction → [INITIAL
+    evaluation] → buffer sliding/interleaving + iterative buffer sizing
+    (TBSZ) → iterative top-down wiresizing (TWSZ) → iterative top-down
+    wiresnaking (TWSN) → bottom-level fine-tuning (BWSN).
+
+    Every optimization is wrapped in Improvement- & Violation-Checking;
+    the per-step trace is the data behind the paper's Table III. *)
+
+type step = Initial | Tbsz | Twsz | Twsn | Bwsn
+
+val step_name : step -> string
+
+type trace_entry = {
+  step : step;
+  skew : float;     (** nominal skew after the step, ps *)
+  clr : float;      (** CLR after the step, ps *)
+  t_max : float;    (** max sink latency, ps *)
+  eval_runs : int;  (** cumulative evaluation ("SPICE") runs so far *)
+  seconds : float;  (** cumulative wall-clock seconds *)
+}
+
+type result = {
+  tree : Ctree.Tree.t;
+  trace : trace_entry list;      (** one entry per step, in flow order *)
+  final : Analysis.Evaluator.t;  (** evaluation after the last step *)
+  chosen_buf : Tech.Composite.t;
+  polarity : Polarity.report;
+  repair : Route.Repair.report option;  (** present when obstacles given *)
+  eval_runs : int;               (** total evaluation runs consumed *)
+  seconds : float;
+}
+
+(** Run the whole methodology. [obstacles] defaults to none. *)
+val run :
+  ?config:Config.t -> tech:Tech.t -> source:Geometry.Point.t ->
+  ?obstacles:Geometry.Rect.t list -> Dme.Zst.sink_spec array -> result
+
+(** Stages before any optimization — ZST, repair, insertion, polarity —
+    exposed so baselines and experiments can start from the same initial
+    tree. Returns the initial buffered, polarity-correct tree. *)
+val initial_tree :
+  ?config:Config.t -> tech:Tech.t -> source:Geometry.Point.t ->
+  ?obstacles:Geometry.Rect.t list -> Dme.Zst.sink_spec array ->
+  Ctree.Tree.t * Tech.Composite.t * Polarity.report * Route.Repair.report option

@@ -1,0 +1,77 @@
+module Tree = Ctree.Tree
+module Evaluator = Analysis.Evaluator
+
+type objective = Skew | Clr | Insertion_delay
+
+let eps = 1e-3
+
+let better obj ~candidate:(c : Evaluator.t) ~baseline:(b : Evaluator.t) =
+  match obj with
+  | Skew ->
+    c.Evaluator.skew < b.Evaluator.skew -. eps
+    || (c.Evaluator.skew < b.Evaluator.skew +. eps
+        && c.Evaluator.clr < b.Evaluator.clr -. eps)
+  | Clr ->
+    c.Evaluator.clr < b.Evaluator.clr -. eps
+    || (c.Evaluator.clr < b.Evaluator.clr +. eps
+        && c.Evaluator.skew < b.Evaluator.skew -. eps)
+  | Insertion_delay -> c.Evaluator.t_max < b.Evaluator.t_max -. eps
+
+let violation_free (ev : Evaluator.t) = Evaluator.ok ev
+
+let debug =
+  match Sys.getenv_opt "CONTANGO_DEBUG" with Some ("1" | "true") -> true | _ -> false
+
+let attempt config tree ~baseline ~objective mutate =
+  let snapshot = Tree.copy tree in
+  mutate tree;
+  let candidate =
+    Evaluator.evaluate ~engine:config.Config.engine
+      ~seg_len:config.Config.seg_len tree
+  in
+  if debug then
+    Format.eprintf "[ivc] base skew=%.3f clr=%.3f sv=%d | cand skew=%.3f clr=%.3f sv=%d capok=%b@."
+      baseline.Evaluator.skew baseline.Evaluator.clr
+      baseline.Evaluator.slew_violations candidate.Evaluator.skew
+      candidate.Evaluator.clr candidate.Evaluator.slew_violations
+      candidate.Evaluator.cap_ok;
+  let ok_violations =
+    if violation_free baseline then violation_free candidate
+    else
+      candidate.Evaluator.slew_violations <= baseline.Evaluator.slew_violations
+      && (candidate.Evaluator.cap_ok || not baseline.Evaluator.cap_ok)
+  in
+  if ok_violations && better objective ~candidate ~baseline then Ok candidate
+  else begin
+    Tree.assign ~dst:tree ~src:snapshot;
+    Error
+      (if not ok_violations then "violations introduced"
+       else "no improvement")
+  end
+
+let iterate config tree ~baseline ~objective mutate =
+  let rec go baseline accepted round =
+    if round >= config.Config.max_rounds then (baseline, accepted)
+    else
+      match
+        attempt config tree ~baseline ~objective (fun t -> mutate t baseline)
+      with
+      | Ok ev -> go ev (accepted + 1) (round + 1)
+      | Error _ -> (baseline, accepted)
+  in
+  go baseline 0 0
+
+let adaptive_iterate config tree ~baseline ~objective mutate =
+  let rec go baseline accepted attempts scale fails =
+    if attempts >= config.Config.max_rounds || fails >= 4 || scale < 0.01 then
+      (baseline, accepted, attempts)
+    else
+      match
+        attempt config tree ~baseline ~objective (fun t ->
+            mutate ~scale t baseline)
+      with
+      | Ok ev ->
+        go ev (accepted + 1) (attempts + 1) (Float.min 1. (scale *. 1.3)) 0
+      | Error _ -> go baseline accepted (attempts + 1) (scale /. 2.) (fails + 1)
+  in
+  go baseline 0 0 1.0 0

@@ -1,0 +1,51 @@
+(** Improvement- & Violation-Checking (the IVC boxes of Fig. 1).
+
+    Every optimization round mutates the tree, re-evaluates it, and keeps
+    the change only when the objective improved without introducing slew
+    or capacitance violations; otherwise the tree is rolled back and the
+    flow moves on. *)
+
+type objective =
+  | Skew   (** nominal skew, CLR as tie-breaker *)
+  | Clr    (** CLR, nominal skew as tie-breaker *)
+  | Insertion_delay  (** max sink latency (used by speed-up steps) *)
+
+(** [better obj ~candidate ~baseline] — did the objective strictly
+    improve? (Violations are checked separately.) *)
+val better :
+  objective -> candidate:Analysis.Evaluator.t -> baseline:Analysis.Evaluator.t ->
+  bool
+
+(** [attempt config tree ~baseline ~objective mutate] snapshots the tree,
+    applies [mutate], re-evaluates, and either keeps the change returning
+    [Ok eval] or rolls the tree back returning [Error reason].
+
+    A candidate introducing violations is rejected even if the objective
+    improved; a baseline that already had violations only needs to not get
+    worse. *)
+val attempt :
+  Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t ->
+  objective:objective -> (Ctree.Tree.t -> unit) ->
+  (Analysis.Evaluator.t, string) result
+
+(** Run [attempt] in a loop (at most [config.max_rounds] times), feeding
+    each accepted evaluation back as the next baseline. Returns the final
+    evaluation and the number of accepted rounds. *)
+val iterate :
+  Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t ->
+  objective:objective ->
+  (Ctree.Tree.t -> Analysis.Evaluator.t -> unit) ->
+  Analysis.Evaluator.t * int
+
+(** Like {!iterate}, but the mutation receives a scale factor in (0, 1]:
+    rejected rounds halve the scale and retry (the linear T_ws/T_wn models
+    overshoot on large slacks — §IV-F notes the accuracy/rounds trade-off
+    of the unit length); accepted rounds grow it back. Stops after
+    [config.max_rounds] total attempts, three consecutive rejections, or
+    when the scale underflows. Returns the final evaluation, accepted
+    rounds, and total attempts. *)
+val adaptive_iterate :
+  Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t ->
+  objective:objective ->
+  (scale:float -> Ctree.Tree.t -> Analysis.Evaluator.t -> unit) ->
+  Analysis.Evaluator.t * int * int

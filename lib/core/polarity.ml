@@ -1,0 +1,106 @@
+module Tree = Ctree.Tree
+
+type strategy = Per_sink | Top_then_per_sink | Minimal
+type report = { inverted_before : int; added : int }
+
+let wrongness tree =
+  let inv = Tree.inversions tree in
+  fun sink_id ->
+    match (Tree.node tree sink_id).Tree.kind with
+    | Tree.Sink s -> inv.(sink_id) land 1 <> s.Tree.parity land 1
+    | _ -> invalid_arg "Polarity: not a sink"
+
+let inverted_sinks tree =
+  let wrong = wrongness tree in
+  Tree.sinks tree |> Array.to_list |> List.filter wrong
+
+(* Status of a subtree: do all its sinks share the same (current)
+   correctness, and which? *)
+type status = Uniform of bool (* wrong? *) | Mixed
+
+let statuses tree =
+  let wrong = wrongness tree in
+  let n = Tree.size tree in
+  let status = Array.make n Mixed in
+  let order = Tree.post_order tree in
+  Array.iter
+    (fun i ->
+      let nd = Tree.node tree i in
+      match nd.Tree.kind with
+      | Tree.Sink _ -> status.(i) <- Uniform (wrong i)
+      | Tree.Source | Tree.Internal | Tree.Buffer _ ->
+        status.(i) <-
+          (match nd.Tree.children with
+          | [] -> Mixed
+          | first :: rest ->
+            List.fold_left
+              (fun acc c ->
+                match (acc, status.(c)) with
+                | Uniform a, Uniform b when a = b -> Uniform a
+                | _ -> Mixed)
+              status.(first) rest))
+    order;
+  status
+
+(* Marked nodes of Proposition 2: uniformly-wrong subtrees whose parent's
+   subtree is not uniform (or the root). *)
+let minimal_marks tree =
+  let status = statuses tree in
+  let marks = ref [] in
+  Tree.iter tree (fun nd ->
+      let i = nd.Tree.id in
+      match status.(i) with
+      | Uniform true ->
+        let parent_uniform =
+          nd.Tree.parent >= 0
+          &&
+          match status.(nd.Tree.parent) with Uniform _ -> true | Mixed -> false
+        in
+        if not parent_uniform then marks := i :: !marks
+      | Uniform false | Mixed -> ());
+  List.rev !marks
+
+let minimal_count tree = List.length (minimal_marks tree)
+
+(* Insert an inverter in series immediately above [id]. *)
+let insert_above tree id buf =
+  let nd = Tree.node tree id in
+  ignore (Tree.insert_buffer_on_wire tree id ~at:nd.Tree.geom_len ~buf)
+
+(* Inverter right at the source output (top of the tree). *)
+let insert_at_top tree buf =
+  match (Tree.node tree (Tree.root tree)).Tree.children with
+  | [] -> invalid_arg "Polarity: empty tree"
+  | first :: _ -> ignore (Tree.insert_buffer_on_wire tree first ~at:0 ~buf)
+
+let correct tree ~buf ~strategy =
+  if not (Tech.Composite.inverting buf) then
+    invalid_arg "Polarity.correct: buffer must invert";
+  let inverted_before = List.length (inverted_sinks tree) in
+  let added = ref 0 in
+  let patch_sinks () =
+    List.iter
+      (fun s ->
+        insert_above tree s buf;
+        incr added)
+      (inverted_sinks tree)
+  in
+  (match strategy with
+  | Per_sink -> patch_sinks ()
+  | Top_then_per_sink ->
+    let n = Array.length (Tree.sinks tree) in
+    if 2 * inverted_before > n then begin
+      insert_at_top tree buf;
+      incr added
+    end;
+    patch_sinks ()
+  | Minimal ->
+    List.iter
+      (fun id ->
+        (* A uniformly-wrong whole tree marks the root, which has no
+           parent wire: the inverter goes right below the source. *)
+        if id = Tree.root tree then insert_at_top tree buf
+        else insert_above tree id buf;
+        incr added)
+      (minimal_marks tree));
+  { inverted_before; added = !added }

@@ -1,0 +1,33 @@
+(** Sink-polarity correction (paper §IV-D).
+
+    The van Ginneken variant ignores polarity, so inverting buffers leave
+    roughly half the sinks with the wrong signal parity. Three corrective
+    strategies are provided; the flow uses [Minimal]:
+
+    - [Per_sink]: one inverter at every inverted sink (n/2 on average);
+    - [Top_then_per_sink]: when more than half the sinks are inverted, one
+      inverter at the top first, then per-sink patches ((n+2)/4 average);
+    - [Minimal] (Proposition 2): traverse bottom-up and mark every node
+      whose downstream sinks all share one (wrong) polarity but whose
+      parent's do not; insert one inverter at each wrong-polarity marked
+      node. Runs in O(n), corrects all sinks, and minimises the number of
+      added inverters subject to ≤ 1 added inverter per root-to-sink
+      path. *)
+
+type strategy = Per_sink | Top_then_per_sink | Minimal
+
+type report = {
+  inverted_before : int;  (** sinks with wrong parity before correction *)
+  added : int;            (** inverters inserted *)
+}
+
+(** Sinks whose current inversion parity mismatches their requirement. *)
+val inverted_sinks : Ctree.Tree.t -> int list
+
+(** Correct all sink polarities in place. [buf] is the inverter to insert
+    (must be inverting). *)
+val correct :
+  Ctree.Tree.t -> buf:Tech.Composite.t -> strategy:strategy -> report
+
+(** Count the inverters [Minimal] would add, without modifying the tree. *)
+val minimal_count : Ctree.Tree.t -> int

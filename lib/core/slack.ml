@@ -1,0 +1,81 @@
+module Tree = Ctree.Tree
+module Evaluator = Analysis.Evaluator
+
+type t = {
+  slow : float array;
+  fast : float array;
+  sink_slow : float array;
+  sink_fast : float array;
+  t_min : float;
+  t_max : float;
+}
+
+let of_run tree (run : Evaluator.run) =
+  let n = Tree.size tree in
+  let sinks = Tree.sinks tree in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      let l = run.Evaluator.latency.(s) in
+      if not (Float.is_nan l) then begin
+        if l < !t_min then t_min := l;
+        if l > !t_max then t_max := l
+      end)
+    sinks;
+  let sink_slow = Array.make n infinity and sink_fast = Array.make n infinity in
+  Array.iter
+    (fun s ->
+      let l = run.Evaluator.latency.(s) in
+      sink_slow.(s) <- !t_max -. l;
+      sink_fast.(s) <- l -. !t_min)
+    sinks;
+  (* Lemma 1: edge slack = min over downstream sinks, one post-order
+     pass. *)
+  let slow = Array.make n infinity and fast = Array.make n infinity in
+  Array.iter
+    (fun s ->
+      slow.(s) <- sink_slow.(s);
+      fast.(s) <- sink_fast.(s))
+    sinks;
+  let order = Tree.post_order tree in
+  Array.iter
+    (fun i ->
+      let nd = Tree.node tree i in
+      if nd.Tree.parent >= 0 then begin
+        let p = nd.Tree.parent in
+        if slow.(i) < slow.(p) then slow.(p) <- slow.(i);
+        if fast.(i) < fast.(p) then fast.(p) <- fast.(i)
+      end)
+    order;
+  { slow; fast; sink_slow; sink_fast; t_min = !t_min; t_max = !t_max }
+
+let combined ?(multicorner = false) tree (ev : Evaluator.t) =
+  let nominal = (List.hd ev.Evaluator.runs).Evaluator.corner in
+  let runs =
+    List.filter
+      (fun (r : Evaluator.run) -> multicorner || r.Evaluator.corner == nominal)
+      ev.Evaluator.runs
+  in
+  match List.map (of_run tree) runs with
+  | [] -> invalid_arg "Slack.combined: no runs"
+  | first :: rest ->
+    List.fold_left
+      (fun acc s ->
+        let minimise a b = Array.iteri (fun i v -> if v < a.(i) then a.(i) <- v) b; a in
+        {
+          slow = minimise acc.slow s.slow;
+          fast = minimise acc.fast s.fast;
+          sink_slow = minimise acc.sink_slow s.sink_slow;
+          sink_fast = minimise acc.sink_fast s.sink_fast;
+          t_min = Float.min acc.t_min s.t_min;
+          t_max = Float.max acc.t_max s.t_max;
+        })
+      first rest
+
+let parent_slack arr tree id =
+  let nd = Tree.node tree id in
+  if nd.Tree.parent < 0 || nd.Tree.parent = Tree.root tree then 0.
+  else arr.(nd.Tree.parent)
+
+let delta_slow t tree id = Float.max 0. (t.slow.(id) -. parent_slack t.slow tree id)
+let delta_fast t tree id = Float.max 0. (t.fast.(id) -. parent_slack t.fast tree id)

@@ -1,0 +1,35 @@
+(** Slow-down and speed-up slacks (paper §III, Definitions 1–2).
+
+    For a sink s: [Slack_slow s = Tmax − Ts] and [Slack_fast s = Ts −
+    Tmin] — how much its latency may move without increasing skew. For an
+    edge e, the slack is the minimum over its downstream sinks (Lemma 1,
+    computed in O(n)); slacks are monotone non-decreasing down any
+    root-to-sink path (Lemma 2). The Δ-decomposition of Proposition 1
+    ([delta_slow]) gives the per-edge slow-down that would zero the skew.
+
+    Rising/falling transitions (and optionally all corners) are combined
+    by taking the per-edge minimum, per §III-B. *)
+
+type t = {
+  slow : float array;  (** node id → slow-down slack of its parent edge, ps *)
+  fast : float array;  (** node id → speed-up slack of its parent edge, ps *)
+  sink_slow : float array;  (** node id → sink slack (sinks only), ps *)
+  sink_fast : float array;
+  t_min : float;
+  t_max : float;
+}
+
+(** Slacks from a single evaluation run. *)
+val of_run : Ctree.Tree.t -> Analysis.Evaluator.run -> t
+
+(** Per-edge minimum across runs: always both transitions at the nominal
+    corner; all corners too when [multicorner] (default false). *)
+val combined :
+  ?multicorner:bool -> Ctree.Tree.t -> Analysis.Evaluator.t -> t
+
+(** [delta_slow slacks tree id] = slack of [id]'s parent edge minus the
+    slack of its parent's parent edge (0 at root edges) — the amount this
+    edge itself should be slowed in the Proposition 1 decomposition. *)
+val delta_slow : t -> Ctree.Tree.t -> int -> float
+
+val delta_fast : t -> Ctree.Tree.t -> int -> float

@@ -1,0 +1,118 @@
+module Tree = Ctree.Tree
+
+type report = { pairs_added : int; max_count : int }
+
+let count_range tree =
+  let inv = Tree.inversions tree in
+  Array.fold_left
+    (fun (lo, hi) s -> (min lo inv.(s), max hi inv.(s)))
+    (max_int, min_int) (Tree.sinks tree)
+
+(* Per-node (min, max) inverter count over the sinks below; (max_int,
+   min_int) marks nodes with no sinks. *)
+let subtree_ranges tree =
+  let inv = Tree.inversions tree in
+  let n = Tree.size tree in
+  let lo = Array.make n max_int and hi = Array.make n min_int in
+  Array.iter
+    (fun i ->
+      let nd = Tree.node tree i in
+      (match nd.Tree.kind with
+      | Tree.Sink _ ->
+        lo.(i) <- inv.(i);
+        hi.(i) <- inv.(i)
+      | _ -> ());
+      if nd.Tree.parent >= 0 then begin
+        let p = nd.Tree.parent in
+        if lo.(i) < lo.(p) then lo.(p) <- lo.(i);
+        if hi.(i) > hi.(p) then hi.(p) <- hi.(i)
+      end)
+    (Tree.post_order tree);
+  (lo, hi)
+
+(* Strength needed to drive [load] fF within slew limits, in parallel
+   copies of [base]: one device handles roughly the wire-aware slew-free
+   capacitance of a single inverter. *)
+let pair_composite tree ~buf load =
+  let tech = Tree.tech tree in
+  let base = buf.Tech.Composite.base in
+  let unit_drive =
+    Float.max 20. (Route.Slewcap.wire_aware ~tech ~buf:(Tech.Composite.make base 1) ())
+  in
+  let by_load = int_of_float (Float.round (0.5 +. (load /. unit_drive))) in
+  (* Floor at half the main composite: under-strength pairs become
+     slew-pinned stages the wire optimizers then cannot slow past. *)
+  let count = max by_load (buf.Tech.Composite.count / 2) in
+  Tech.Composite.make base (max 1 (min buf.Tech.Composite.count count))
+
+let equalize tree ~buf =
+  let tech = Tree.tech tree in
+  let pairs = ref 0 in
+  let target = ref 0 in
+  let continue = ref true in
+  (* Each sweep fixes the currently-maximal uniform-deficit subtrees; the
+     loop terminates because every sweep strictly raises the global
+     minimum count. Stops early when the capacitance budget is spent —
+     partial balance is recoverable by the wire optimizations, a blown
+     budget is not. *)
+  let guard = ref 0 in
+  while !continue && !guard < 64 do
+    incr guard;
+    let lo, hi = subtree_ranges tree in
+    let _, global_hi = count_range tree in
+    target := global_hi;
+    let marks = ref [] in
+    Tree.iter tree (fun nd ->
+        let i = nd.Tree.id in
+        if
+          nd.Tree.parent >= 0 && hi.(i) > min_int && lo.(i) = hi.(i)
+          && global_hi - hi.(i) >= 2
+          &&
+          (* parent subtree is not uniformly deficient by the same amount *)
+          let p = nd.Tree.parent in
+          not (lo.(p) = hi.(p) && lo.(p) = lo.(i))
+        then marks := (i, global_hi - hi.(i)) :: !marks);
+    (* Largest deficits first: they contribute the most unfixable skew per
+       picofarad of added inverters. *)
+    let marks_list =
+      List.sort (fun (_, a) (_, b) -> Int.compare b a) !marks
+    in
+    (match marks_list with
+    | [] -> continue := false
+    | _ ->
+      let sens = Probes.sensitivities tree in
+      let progressed = ref false in
+      List.iter
+        (fun (id, deficit) ->
+          let headroom =
+            tech.Tech.cap_limit
+            -. (Ctree.Stats.compute tree).Ctree.Stats.total_cap
+          in
+          let deficit = deficit - (deficit mod 2) in
+          let load =
+            sens.Probes.cdown.(id) +. Tree.wire_cap tree (Tree.node tree id)
+          in
+          let pair_buf = pair_composite tree ~buf load in
+          let pair_cost =
+            float_of_int deficit
+            *. (Tech.Composite.c_in pair_buf +. Tech.Composite.c_out pair_buf)
+          in
+          if pair_cost < 0.98 *. headroom then begin
+            let nd = Tree.node tree id in
+            let len = nd.Tree.geom_len in
+            (* Spread the new inverters along the feed wire, deepest first
+               so each insertion splits the remaining upper span. *)
+            let target_node = ref id in
+            for j = deficit downto 1 do
+              let at = len * j / (deficit + 1) in
+              let at = min at (Tree.node tree !target_node).Tree.geom_len in
+              target_node :=
+                Tree.insert_buffer_on_wire tree !target_node ~at ~buf:pair_buf
+            done;
+            pairs := !pairs + (deficit / 2);
+            progressed := true
+          end)
+        marks_list;
+      if not !progressed then continue := false)
+  done;
+  { pairs_added = !pairs; max_count = !target }

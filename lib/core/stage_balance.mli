@@ -1,0 +1,22 @@
+(** Stage-count equalisation.
+
+    The paper's premise "source-to-sink paths contain practically the same
+    numbers of buffers" (§IV-C) holds for van Ginneken on an
+    Elmore-balanced tree, but the fast quantised variant can leave paths
+    differing by a stage pair — roughly two gate delays of skew that no
+    amount of wiresizing or snaking can recover within slew limits. This
+    step inserts inverter pairs (parity-preserving) on the feed wires of
+    maximal subtrees whose sinks all miss the same even number of stages,
+    spacing the pair along the wire. *)
+
+type report = {
+  pairs_added : int;
+  max_count : int;  (** target inverter count per path *)
+}
+
+(** Equalise in place. No-op on already balanced trees. Polarity must
+    already be correct (deficits are even). *)
+val equalize : Ctree.Tree.t -> buf:Tech.Composite.t -> report
+
+(** Per-sink inverter counts (for tests): (min, max) over all sinks. *)
+val count_range : Ctree.Tree.t -> int * int

@@ -1,0 +1,113 @@
+module Tree = Ctree.Tree
+module Evaluator = Analysis.Evaluator
+
+type result = {
+  eval : Evaluator.t;
+  rounds : int;
+  downsized : int;
+  tws : float;
+}
+
+(* Probe calibration for downsizing: downsize a few independent mid-tree
+   wires, evaluate once, compare against the Elmore sensitivity
+   prediction. Returns (tws, correction) — the paper's scalar (worst
+   per-nm latency increase) and the calibration factor for the per-edge
+   sensitivities. *)
+let estimate_tws config tree ~baseline =
+  if Array.length (Tree.tech tree).Tech.wires < 2 then (0., 1.)
+  else begin
+    let probes =
+      Probes.pick_probes tree ~count:5 ~min_len:20_000 ~eligible:(fun nd ->
+          nd.Tree.wire_class > 0)
+    in
+    if probes = [] then (0., 1.)
+    else begin
+      let sens = Probes.sensitivities tree in
+      let saved =
+        List.map (fun id -> (id, (Tree.node tree id).Tree.wire_class)) probes
+      in
+      List.iter
+        (fun id ->
+          let nd = Tree.node tree id in
+          nd.Tree.wire_class <- nd.Tree.wire_class - 1)
+        probes;
+      let after =
+        Evaluator.evaluate ~engine:config.Config.engine
+          ~seg_len:config.Config.seg_len tree
+      in
+      let tws = ref 0. and ratio_sum = ref 0. and ratio_n = ref 0 in
+      List.iter
+        (fun id ->
+          let len = float_of_int (Tree.wire_len (Tree.node tree id)) in
+          if len > 0. then begin
+            let measured =
+              Probes.worst_increase tree ~before:baseline ~after id
+            in
+            let predicted = sens.Probes.size_delay.(id) *. len in
+            if measured > 0. then tws := Float.max !tws (measured /. len);
+            if predicted > 1e-6 && measured > 0. then begin
+              ratio_sum := !ratio_sum +. (measured /. predicted);
+              incr ratio_n
+            end
+          end)
+        probes;
+      List.iter
+        (fun (id, wc) -> (Tree.node tree id).Tree.wire_class <- wc)
+        saved;
+      let correction =
+        if !ratio_n = 0 then 1.
+        else Float.min 4. (Float.max 0.5 (!ratio_sum /. float_of_int !ratio_n))
+      in
+      (!tws, correction)
+    end
+  end
+
+(* One top-down pass of Algorithm 1: downsize wires whose slow-down slack
+   net of inherited RSlack exceeds the per-edge predicted impact, subject
+   to the remaining slew headroom of their subtree. *)
+let downsizing_pass config tree ~eval ~correction ~scale ~count =
+  let factor = config.Config.damping *. scale in
+  let slacks =
+    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
+  in
+  let headrooms = Probes.subtree_slew_headroom tree eval in
+  let sens = Probes.sensitivities tree in
+  let queue = Queue.create () in
+  List.iter
+    (fun c -> Queue.add (c, 0., 0.) queue)
+    (Tree.node tree (Tree.root tree)).Tree.children;
+  while not (Queue.is_empty queue) do
+    let id, rslack, rslew = Queue.pop queue in
+    let nd = Tree.node tree id in
+    let rslack, rslew =
+      if nd.Tree.wire_class > 0 then begin
+        let len = float_of_int (Tree.wire_len nd) in
+        let impact = correction *. sens.Probes.size_delay.(id) *. len in
+        let slew_impact = correction *. sens.Probes.size_slew.(id) *. len in
+        let available = (slacks.Slack.slow.(id) -. rslack) *. factor in
+        if impact > 0. && available > impact
+           && slew_impact < 0.5 *. (headrooms.(id) -. rslew -. 5.)
+        then begin
+          nd.Tree.wire_class <- nd.Tree.wire_class - 1;
+          incr count;
+          (rslack +. impact, rslew +. slew_impact)
+        end
+        else (rslack, rslew)
+      end
+      else (rslack, rslew)
+    in
+    List.iter (fun c -> Queue.add (c, rslack, rslew) queue) nd.Tree.children
+  done
+
+let run config tree ~baseline =
+  let tws, correction = estimate_tws config tree ~baseline in
+  if tws <= 0. then { eval = baseline; rounds = 0; downsized = 0; tws }
+  else begin
+    let count = ref 0 in
+    let eval, rounds, _attempts =
+      Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
+        (fun ~scale t ev ->
+          downsizing_pass config t ~eval:ev ~correction ~scale ~count)
+    in
+    { eval; rounds; downsized = !count; tws }
+  end

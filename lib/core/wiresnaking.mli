@@ -1,0 +1,39 @@
+(** Iterative top-down wiresnaking (paper §IV-F) — "TWSN".
+
+    One probing evaluation measures T_wn, the worst-case latency increase
+    of snaking a wire by the unit length l_wn, and calibrates per-edge
+    stage-aware Elmore sensitivities (see {!Probes.sensitivities}). Each
+    round walks the tree top-down with inherited consumed-slack (RSlack)
+    and consumed-slew budgets and snakes every wire with positive
+    remaining slow-down slack — slowing the fast subtrees high in the tree
+    where few modifications suffice. Rounds repeat under IVC until skew
+    stops improving; rejected rounds retry at smaller scale. *)
+
+type result = {
+  eval : Analysis.Evaluator.t;
+  rounds : int;
+  snaked_wires : int;   (** snake operations attempted across rounds *)
+  added_length : int;   (** snake wirelength attempted, nm *)
+  twn : float;          (** measured worst per-unit latency increase, ps *)
+}
+
+(** Estimate with one extra evaluation (restores the tree): the pair
+    (T_wn, correction) — the paper's scalar and the measured/predicted
+    calibration factor applied to the per-edge sensitivities. *)
+val estimate_twn :
+  Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t -> float * float
+
+val run :
+  Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t -> result
+
+(** One top-down snaking pass (no IVC) — exposed for experiments. *)
+val topdown_pass :
+  Config.t -> Ctree.Tree.t -> eval:Analysis.Evaluator.t -> correction:float ->
+  scale:float -> count:int ref -> added:int ref -> unit
+
+(** A single snaking pass over only the wires feeding sinks, driven by
+    per-sink slacks — the wiresnaking half of bottom-level fine-tuning
+    (§IV-G). Used by {!Bottomlevel}. *)
+val bottom_pass :
+  Config.t -> Ctree.Tree.t -> eval:Analysis.Evaluator.t -> correction:float ->
+  scale:float -> count:int ref -> added:int ref -> unit

@@ -1,0 +1,62 @@
+type t = {
+  wirelength : int;
+  geom_wirelength : int;
+  snake_total : int;
+  wire_cap : float;
+  sink_cap : float;
+  buffer_in_cap : float;
+  buffer_out_cap : float;
+  buffer_count : int;
+  buffer_devices : int;
+  sink_count : int;
+  total_cap : float;
+}
+
+let compute tree =
+  let wirelength = ref 0 and geom = ref 0 and snake = ref 0 in
+  let wire_cap = ref 0. and sink_cap = ref 0. in
+  let bin = ref 0. and bout = ref 0. in
+  let bcount = ref 0 and bdevices = ref 0 and scount = ref 0 in
+  Tree.iter tree (fun nd ->
+      if nd.Tree.parent >= 0 then begin
+        wirelength := !wirelength + Tree.wire_len nd;
+        geom := !geom + nd.Tree.geom_len;
+        snake := !snake + nd.Tree.snake;
+        wire_cap := !wire_cap +. Tree.wire_cap tree nd
+      end;
+      match nd.Tree.kind with
+      | Tree.Sink s ->
+        incr scount;
+        sink_cap := !sink_cap +. s.Tree.cap
+      | Tree.Buffer b ->
+        incr bcount;
+        bdevices := !bdevices + b.Tech.Composite.count;
+        bin := !bin +. Tech.Composite.c_in b;
+        bout := !bout +. Tech.Composite.c_out b
+      | Tree.Source | Tree.Internal -> ());
+  {
+    wirelength = !wirelength;
+    geom_wirelength = !geom;
+    snake_total = !snake;
+    wire_cap = !wire_cap;
+    sink_cap = !sink_cap;
+    buffer_in_cap = !bin;
+    buffer_out_cap = !bout;
+    buffer_count = !bcount;
+    buffer_devices = !bdevices;
+    sink_count = !scount;
+    total_cap = !wire_cap +. !sink_cap +. !bin;
+  }
+
+let cap_headroom tree =
+  let stats = compute tree in
+  (Tree.tech tree).Tech.cap_limit -. stats.total_cap
+
+let pp ppf s =
+  Format.fprintf ppf
+    "wl=%.2fmm (snake %.2fmm) cap=%.1fpF (wire %.1f sink %.1f bufin %.1f) \
+     buffers=%d sinks=%d"
+    (float_of_int s.wirelength /. 1.e6)
+    (float_of_int s.snake_total /. 1.e6)
+    (s.total_cap /. 1000.) (s.wire_cap /. 1000.) (s.sink_cap /. 1000.)
+    (s.buffer_in_cap /. 1000.) s.buffer_count s.sink_count

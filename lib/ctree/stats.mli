@@ -1,0 +1,25 @@
+(** Aggregate metrics of a clock tree: wirelength, capacitance breakdown,
+    buffer counts. The [total_cap] field is the capacitance the contest's
+    power limit constrains: wire + sink + buffer input capacitance. *)
+
+type t = {
+  wirelength : int;        (** electrical wirelength (incl. snaking), nm *)
+  geom_wirelength : int;   (** routed geometric wirelength, nm *)
+  snake_total : int;       (** total snaked extra length, nm *)
+  wire_cap : float;        (** fF *)
+  sink_cap : float;        (** fF *)
+  buffer_in_cap : float;   (** fF *)
+  buffer_out_cap : float;  (** fF *)
+  buffer_count : int;
+  buffer_devices : int;    (** parallel device count summed over buffers *)
+  sink_count : int;
+  total_cap : float;       (** wire + sink + buffer input cap, fF *)
+}
+
+val compute : Tree.t -> t
+
+(** [cap_headroom tree] = cap limit minus [total_cap] (infinite when the
+    technology has no limit). *)
+val cap_headroom : Tree.t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+open Geometry
+
+let gradient ~lo ~hi v =
+  let t =
+    if hi <= lo then 1.
+    else max 0. (min 1. ((v -. lo) /. (hi -. lo)))
+  in
+  let r = int_of_float (Float.round (220. *. (1. -. t))) in
+  let g = int_of_float (Float.round (170. *. t)) in
+  Printf.sprintf "#%02x%02x30" r g
+
+let render ?(edge_color = fun _ -> "#555555") ?(obstacles = []) ?(canvas = 1000)
+    tree =
+  let buf = Buffer.create 65536 in
+  (* Bounding box over node positions and obstacles. *)
+  let minx = ref max_int and miny = ref max_int in
+  let maxx = ref min_int and maxy = ref min_int in
+  let see (p : Point.t) =
+    minx := min !minx p.x; maxx := max !maxx p.x;
+    miny := min !miny p.y; maxy := max !maxy p.y
+  in
+  Tree.iter tree (fun nd -> see nd.Tree.pos);
+  List.iter
+    (fun (r : Rect.t) ->
+      see (Point.make r.lx r.ly);
+      see (Point.make r.hx r.hy))
+    obstacles;
+  let w = max 1 (!maxx - !minx) and h = max 1 (!maxy - !miny) in
+  let scale = float_of_int canvas /. float_of_int (max w h) in
+  let sx x = (float_of_int (x - !minx) *. scale) +. 10. in
+  (* SVG y grows downward; flip so the layout reads like the paper. *)
+  let sy y = (float_of_int (!maxy - y) *. scale) +. 10. in
+  let marker = max 2. (float_of_int canvas /. 250.) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n<rect width=\"100%%\" height=\"100%%\" \
+        fill=\"white\"/>\n"
+       (canvas + 20) (canvas + 20) (canvas + 20) (canvas + 20));
+  List.iter
+    (fun (r : Rect.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+            fill=\"#dddddd\" stroke=\"#999999\"/>\n"
+           (sx r.lx) (sy r.hy)
+           (float_of_int (Rect.width r) *. scale)
+           (float_of_int (Rect.height r) *. scale)))
+    obstacles;
+  Tree.iter tree (fun nd ->
+      if nd.Tree.parent >= 0 then begin
+        let color = edge_color nd.Tree.id in
+        match nd.Tree.route with
+        | [] ->
+          (* L-shapes as straight diagonals, per Fig. 3. *)
+          let p = (Tree.node tree nd.Tree.parent).Tree.pos in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                stroke=\"%s\" stroke-width=\"1\"/>\n"
+               (sx p.x) (sy p.y) (sx nd.Tree.pos.Point.x)
+               (sy nd.Tree.pos.Point.y) color)
+        | route ->
+          let pts =
+            String.concat " "
+              (List.map
+                 (fun (p : Point.t) -> Printf.sprintf "%.1f,%.1f" (sx p.x) (sy p.y))
+                 route)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+                stroke-width=\"1\"/>\n"
+               pts color)
+      end);
+  Tree.iter tree (fun nd ->
+      let x = sx nd.Tree.pos.Point.x and y = sy nd.Tree.pos.Point.y in
+      match nd.Tree.kind with
+      | Tree.Sink _ ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<path d=\"M %.1f %.1f L %.1f %.1f M %.1f %.1f L %.1f %.1f\" \
+              stroke=\"#333333\" stroke-width=\"1\"/>\n"
+             (x -. marker) (y -. marker) (x +. marker) (y +. marker)
+             (x -. marker) (y +. marker) (x +. marker) (y -. marker))
+      | Tree.Buffer _ ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+              fill=\"#3355cc\"/>\n"
+             (x -. marker) (y -. marker) (2. *. marker) (2. *. marker))
+      | Tree.Source ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"#cc3333\"/>\n"
+             x y (1.5 *. marker))
+      | Tree.Internal -> ());
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,17 @@
+(** SVG rendering of clock trees in the style of the paper's Figure 3:
+    sinks drawn as crosses, buffers as blue rectangles, L-shaped wires
+    drawn as straight "diagonal" lines to reduce clutter, and wires
+    coloured by a red–green gradient reflecting slack. *)
+
+(** [gradient ~lo ~hi v] is an [#rrggbb] colour from red ([v <= lo], no
+    slack) to green ([v >= hi], ample slack). *)
+val gradient : lo:float -> hi:float -> float -> string
+
+(** [render tree ~edge_color] renders the tree as a complete SVG document.
+    [edge_color] maps a node id to the colour of its parent wire (default:
+    dark grey). Obstacles, when given, are drawn as hatched grey boxes. *)
+val render :
+  ?edge_color:(int -> string) -> ?obstacles:Geometry.Rect.t list ->
+  ?canvas:int -> Tree.t -> string
+
+val write_file : string -> string -> unit

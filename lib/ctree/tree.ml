@@ -1,0 +1,327 @@
+open Geometry
+
+type sink = { cap : float; parity : int; label : string }
+
+type kind =
+  | Source
+  | Internal
+  | Buffer of Tech.Composite.t
+  | Sink of sink
+
+type node = {
+  id : int;
+  mutable kind : kind;
+  mutable pos : Point.t;
+  mutable parent : int;
+  mutable children : int list;
+  mutable wire_class : int;
+  mutable geom_len : int;
+  mutable snake : int;
+  mutable bend : Segment.L.config;
+  mutable route : Point.t list;
+}
+
+type t = {
+  tech : Tech.t;
+  mutable nodes : node array;
+  mutable n : int;
+}
+
+let dummy_node =
+  { id = -1; kind = Internal; pos = Point.origin; parent = -1; children = [];
+    wire_class = 0; geom_len = 0; snake = 0; bend = Segment.L.XY; route = [] }
+
+let create ~tech ~source_pos =
+  let root =
+    { dummy_node with id = 0; kind = Source; pos = source_pos }
+  in
+  let nodes = Array.make 64 dummy_node in
+  nodes.(0) <- root;
+  { tech; nodes; n = 1 }
+
+let tech t = t.tech
+let root _ = 0
+let size t = t.n
+
+let node t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Tree.node: id %d" i);
+  t.nodes.(i)
+
+let wire_len nd = nd.geom_len + nd.snake
+let wire_of t nd = t.tech.Tech.wires.(nd.wire_class)
+let wire_cap t nd = Tech.Wire.cap (wire_of t nd) (wire_len nd)
+
+let polyline_length pts =
+  match pts with
+  | [] | [ _ ] -> 0
+  | first :: _ ->
+    snd
+      (List.fold_left
+         (fun (prev, acc) p -> (p, acc + Point.dist prev p))
+         (first, 0) pts)
+
+let grow t =
+  if t.n = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.n) dummy_node in
+    Array.blit t.nodes 0 bigger 0 t.n;
+    t.nodes <- bigger
+  end
+
+let add_node t ~kind ~pos ~parent ?wire_class ?geom_len
+    ?(bend = Segment.L.XY) () =
+  if parent < 0 || parent >= t.n then
+    invalid_arg (Printf.sprintf "Tree.add_node: invalid parent %d" parent);
+  (match kind with
+  | Source -> invalid_arg "Tree.add_node: only one source allowed"
+  | Internal | Buffer _ | Sink _ -> ());
+  grow t;
+  let id = t.n in
+  let wire_class =
+    match wire_class with Some w -> w | None -> Tech.widest_wire t.tech
+  in
+  let geom_len =
+    match geom_len with
+    | Some l ->
+      if l < Point.dist t.nodes.(parent).pos pos then
+        invalid_arg "Tree.add_node: geom_len shorter than Manhattan distance";
+      l
+    | None -> Point.dist t.nodes.(parent).pos pos
+  in
+  let nd =
+    { id; kind; pos; parent; children = []; wire_class; geom_len; snake = 0;
+      bend; route = [] }
+  in
+  t.nodes.(id) <- nd;
+  t.n <- t.n + 1;
+  t.nodes.(parent).children <- t.nodes.(parent).children @ [ id ];
+  id
+
+let set_route t id pts =
+  let nd = node t id in
+  if nd.parent < 0 then invalid_arg "Tree.set_route: root has no wire";
+  (match pts with
+  | first :: _ :: _ ->
+    let last = List.nth pts (List.length pts - 1) in
+    if not (Point.equal first (node t nd.parent).pos && Point.equal last nd.pos)
+    then invalid_arg "Tree.set_route: endpoints do not match parent/node"
+  | _ -> invalid_arg "Tree.set_route: polyline needs at least two points");
+  nd.route <- pts;
+  nd.geom_len <- polyline_length pts
+
+(* Walk a polyline to the point at arc distance [d]. *)
+let point_on_polyline pts d =
+  let rec walk prev remaining = function
+    | [] -> prev
+    | p :: rest ->
+      let step = Point.dist prev p in
+      if remaining <= step then begin
+        if step = 0 then p
+        else
+          let f a b = a + ((b - a) * remaining / step) in
+          Point.make (f prev.Point.x p.Point.x) (f prev.Point.y p.Point.y)
+      end
+      else walk p (remaining - step) rest
+  in
+  match pts with
+  | [] -> invalid_arg "point_on_polyline: empty"
+  | first :: rest -> walk first d rest
+
+let wire_polyline t id =
+  let nd = node t id in
+  if nd.parent < 0 then invalid_arg "Tree.wire_polyline: root";
+  if nd.route <> [] then nd.route
+  else
+    let p = (node t nd.parent).pos in
+    let b = Segment.L.bend nd.bend p nd.pos in
+    if Point.equal b p || Point.equal b nd.pos then [ p; nd.pos ]
+    else [ p; b; nd.pos ]
+
+let point_along_wire t id d =
+  let nd = node t id in
+  if d < 0 || d > nd.geom_len then
+    invalid_arg
+      (Printf.sprintf "Tree.point_along_wire: %d outside [0,%d]" d nd.geom_len);
+  point_on_polyline (wire_polyline t id) d
+
+(* Split an explicit polyline at arc distance [d]; returns the two halves,
+   both including the split point. *)
+let split_polyline pts d =
+  let split = point_on_polyline pts d in
+  let rec walk prev remaining acc = function
+    | [] -> (List.rev (split :: acc), [ split ])
+    | p :: rest ->
+      let step = Point.dist prev p in
+      if remaining <= step then
+        (List.rev (split :: acc), split :: p :: rest)
+      else walk p (remaining - step) (p :: acc) rest
+  in
+  match pts with
+  | [] -> invalid_arg "split_polyline: empty"
+  | first :: rest ->
+    let before, after = walk first d [ first ] rest in
+    (* Drop duplicated points introduced when the split lands on a vertex. *)
+    let dedup l =
+      let rec go = function
+        | a :: b :: rest when Point.equal a b -> go (b :: rest)
+        | a :: rest -> a :: go rest
+        | [] -> []
+      in
+      go l
+    in
+    (dedup before, dedup after)
+
+let split_wire t id ~at =
+  let nd = node t id in
+  if nd.parent < 0 then invalid_arg "Tree.split_wire: root has no wire";
+  if at < 0 || at > nd.geom_len then
+    invalid_arg
+      (Printf.sprintf "Tree.split_wire: %d outside [0,%d]" at nd.geom_len);
+  let pts = wire_polyline t id in
+  let before, after = split_polyline pts at in
+  let split_pos = point_on_polyline pts at in
+  let parent = nd.parent in
+  (* Proportional snake split (integers; remainder goes downstream). *)
+  let snake_up = if nd.geom_len = 0 then 0 else nd.snake * at / nd.geom_len in
+  let snake_down = nd.snake - snake_up in
+  grow t;
+  let mid_id = t.n in
+  let mid =
+    { id = mid_id; kind = Internal; pos = split_pos; parent;
+      children = [ id ]; wire_class = nd.wire_class;
+      geom_len = polyline_length before; snake = snake_up; bend = nd.bend;
+      route = (if List.length before > 2 then before else []) }
+  in
+  t.nodes.(mid_id) <- mid;
+  t.n <- t.n + 1;
+  (* Rewire: parent loses [id], gains [mid]. *)
+  let pn = t.nodes.(parent) in
+  pn.children <-
+    List.map (fun c -> if c = id then mid_id else c) pn.children;
+  nd.parent <- mid_id;
+  nd.geom_len <- polyline_length after;
+  nd.snake <- snake_down;
+  nd.route <- (if List.length after > 2 then after else []);
+  (* A two-point remainder is straight or an L with the original bend; keep
+     the bend only if the segment is not axis-aligned. *)
+  if List.length after <= 2 then nd.bend <- nd.bend;
+  mid_id
+
+let insert_buffer_on_wire t id ~at ~buf =
+  let mid = split_wire t id ~at in
+  (node t mid).kind <- Buffer buf;
+  mid
+
+let remove_buffer t id =
+  let nd = node t id in
+  match nd.kind with
+  | Buffer _ -> nd.kind <- Internal
+  | Source | Internal | Sink _ -> invalid_arg "Tree.remove_buffer: not a buffer"
+
+let set_buffer t id buf =
+  let nd = node t id in
+  match nd.kind with
+  | Internal | Buffer _ -> nd.kind <- Buffer buf
+  | Source | Sink _ -> invalid_arg "Tree.set_buffer: source/sink node"
+
+let collect t pred =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if pred t.nodes.(i) then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+let sinks t = collect t (fun nd -> match nd.kind with Sink _ -> true | _ -> false)
+
+let buffer_ids t =
+  collect t (fun nd -> match nd.kind with Buffer _ -> true | _ -> false)
+
+(* Reachable nodes only: after [detach], unreachable nodes are skipped by
+   every traversal until [compact] rebuilds dense ids. *)
+let topo_order t =
+  let order = Array.make t.n 0 in
+  let idx = ref 0 in
+  let rec visit i =
+    order.(!idx) <- i;
+    incr idx;
+    List.iter visit t.nodes.(i).children
+  in
+  visit 0;
+  Array.sub order 0 !idx
+
+let post_order t =
+  let order = topo_order t in
+  let n = Array.length order in
+  Array.init n (fun i -> order.(n - 1 - i))
+
+let iter t f =
+  let order = topo_order t in
+  Array.iter (fun i -> f t.nodes.(i)) order
+
+let detach t id =
+  let nd = node t id in
+  if nd.parent < 0 then invalid_arg "Tree.detach: cannot detach the root";
+  let pn = t.nodes.(nd.parent) in
+  pn.children <- List.filter (fun c -> c <> id) pn.children;
+  nd.parent <- -1
+
+let reparent t id ~new_parent =
+  let nd = node t id in
+  let np = node t new_parent in
+  if nd.parent >= 0 then detach t id;
+  nd.parent <- new_parent;
+  np.children <- np.children @ [ id ];
+  nd.route <- [];
+  nd.snake <- 0;
+  nd.geom_len <- Point.dist np.pos nd.pos
+
+let compact t =
+  let order = topo_order t in
+  let remap = Array.make t.n (-1) in
+  Array.iteri (fun new_id old_id -> remap.(old_id) <- new_id) order;
+  let nodes =
+    Array.map
+      (fun old_id ->
+        let nd = t.nodes.(old_id) in
+        {
+          nd with
+          id = remap.(old_id);
+          parent = (if nd.parent < 0 then -1 else remap.(nd.parent));
+          children = List.map (fun c -> remap.(c)) nd.children;
+        })
+      order
+  in
+  ({ tech = t.tech; nodes; n = Array.length nodes }, remap)
+
+let inversions t =
+  let inv = Array.make t.n 0 in
+  let order = topo_order t in
+  Array.iter
+    (fun i ->
+      let nd = t.nodes.(i) in
+      let self = match nd.kind with Buffer b when Tech.Composite.inverting b -> 1 | _ -> 0 in
+      inv.(i) <- (if nd.parent < 0 then 0 else inv.(nd.parent)) + self)
+    order;
+  inv
+
+let subtree_sinks t id =
+  let acc = ref [] in
+  let rec visit i =
+    let nd = t.nodes.(i) in
+    (match nd.kind with Sink _ -> acc := i :: !acc | _ -> ());
+    List.iter visit nd.children
+  in
+  visit id;
+  List.rev !acc
+
+let copy_node nd = { nd with children = nd.children }
+
+let copy t =
+  let nodes = Array.map copy_node (Array.sub t.nodes 0 t.n) in
+  let padded =
+    if Array.length nodes = 0 then [| dummy_node |] else nodes
+  in
+  { tech = t.tech; nodes = padded; n = t.n }
+
+let assign ~dst ~src =
+  dst.nodes <- Array.map copy_node (Array.sub src.nodes 0 src.n);
+  dst.n <- src.n

@@ -1,0 +1,128 @@
+(** The buffered clock tree: a mutable rooted tree over layout nodes.
+
+    Every non-root node owns the wire from its parent: a wire class, a
+    geometric (routed) length, an optional snaked extension, and an
+    embedding (L-bend choice or explicit detour polyline). Buffers are
+    nodes carrying a composite inverter; sinks carry a load capacitance and
+    a required signal parity.
+
+    The structure supports the surgery the Contango flow needs: splitting
+    wires, inserting/removing buffers, sliding buffers along their wire
+    span, deep copies for IVC rollback. Node ids are dense and stable —
+    surgery only adds nodes or changes node kinds in place. *)
+
+open Geometry
+
+type sink = {
+  cap : float;         (** load capacitance, fF *)
+  parity : int;        (** required number of inversions mod 2 from source *)
+  label : string;
+}
+
+type kind =
+  | Source
+  | Internal
+  | Buffer of Tech.Composite.t
+  | Sink of sink
+
+type node = {
+  id : int;
+  mutable kind : kind;
+  mutable pos : Point.t;
+  mutable parent : int;     (** -1 for the root *)
+  mutable children : int list;
+  mutable wire_class : int; (** index into tech wire classes *)
+  mutable geom_len : int;   (** routed geometric length of the parent wire, nm *)
+  mutable snake : int;      (** extra snaked wirelength, nm *)
+  mutable bend : Segment.L.config;
+  mutable route : Point.t list;
+      (** explicit polyline from parent position to [pos] (both included)
+          when the wire is detoured; [[]] means L-shape embedding *)
+}
+
+type t
+
+val create : tech:Tech.t -> source_pos:Point.t -> t
+val tech : t -> Tech.t
+val root : t -> int
+val size : t -> int
+val node : t -> int -> node
+
+(** Electrical length of the parent wire: geometric plus snake. *)
+val wire_len : node -> int
+
+(** Wire class record of a node's parent wire. *)
+val wire_of : t -> node -> Tech.Wire.t
+
+(** Total capacitance of the parent wire (electrical length), fF. *)
+val wire_cap : t -> node -> float
+
+(** Add a node. [geom_len] defaults to the Manhattan distance from the
+    parent's position; [wire_class] defaults to the technology's widest
+    wire. @raise Invalid_argument for an invalid parent. *)
+val add_node :
+  t -> kind:kind -> pos:Point.t -> parent:int -> ?wire_class:int ->
+  ?geom_len:int -> ?bend:Segment.L.config -> unit -> int
+
+(** Replace a wire's embedding by an explicit polyline (first point must be
+    the parent position, last the node position); updates [geom_len]. *)
+val set_route : t -> int -> Point.t list -> unit
+
+(** Geometric point at distance [d] (0 ≤ d ≤ geom_len) from the parent end
+    along the wire's embedding. *)
+val point_along_wire : t -> int -> int -> Point.t
+
+(** [split_wire t id ~at] inserts an [Internal] node on the wire from
+    [parent id] to [id] at geometric distance [at] from the parent end and
+    returns the new node's id. Snake length is split proportionally.
+    @raise Invalid_argument when [at] is outside [0, geom_len]. *)
+val split_wire : t -> int -> at:int -> int
+
+(** Insert a buffer on a wire ([split_wire] + set kind). Returns the new
+    buffer node id. *)
+val insert_buffer_on_wire : t -> int -> at:int -> buf:Tech.Composite.t -> int
+
+(** Turn a buffer node back into an internal node. *)
+val remove_buffer : t -> int -> unit
+
+(** Place a buffer directly at an existing internal node. *)
+val set_buffer : t -> int -> Tech.Composite.t -> unit
+
+val sinks : t -> int array
+val buffer_ids : t -> int array
+
+(** Ids in topological order (each parent before its children). *)
+val topo_order : t -> int array
+
+(** Leaves-first order (reverse topological). *)
+val post_order : t -> int array
+
+val iter : t -> (node -> unit) -> unit
+
+(** Number of signal inversions between the source and each node. *)
+val inversions : t -> int array
+
+(** Sink ids in the subtree rooted at a node. *)
+val subtree_sinks : t -> int -> int list
+
+(** Detach the subtree rooted at [id] from its parent. The nodes remain
+    allocated but unreachable until {!compact} is called; traversals skip
+    them. @raise Invalid_argument on the root. *)
+val detach : t -> int -> unit
+
+(** Attach a previously detached node (or move a node) under a new parent,
+    keeping its wire class and recomputing [geom_len] from positions
+    (explicit routes and snake are cleared). *)
+val reparent : t -> int -> new_parent:int -> unit
+
+(** Rebuild the tree keeping only nodes reachable from the root, with
+    dense ids. Returns the new tree and the old→new id mapping (-1 for
+    dropped nodes). *)
+val compact : t -> t * int array
+
+(** Deep structural copy (shares only the technology). *)
+val copy : t -> t
+
+(** Make [dst] structurally identical to [src] (deep). Both must share the
+    same technology. *)
+val assign : dst:t -> src:t -> unit

@@ -1,0 +1,71 @@
+open Geometry
+
+let check tree =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let n = Tree.size tree in
+  let tech = Tree.tech tree in
+  let seen = Array.make n false in
+  let rec visit i depth =
+    if depth > n then err "cycle detected at node %d" i
+    else begin
+      if seen.(i) then err "node %d reached twice" i;
+      seen.(i) <- true;
+      let nd = Tree.node tree i in
+      List.iter
+        (fun c ->
+          if c < 0 || c >= n then err "node %d has invalid child %d" i c
+          else begin
+            let cn = Tree.node tree c in
+            if cn.Tree.parent <> i then
+              err "child %d of %d has parent %d" c i cn.Tree.parent;
+            visit c (depth + 1)
+          end)
+        nd.Tree.children
+    end
+  in
+  visit (Tree.root tree) 0;
+  for i = 0 to n - 1 do
+    if not seen.(i) then err "node %d unreachable from root" i
+  done;
+  for i = 0 to n - 1 do
+    let nd = Tree.node tree i in
+    (match nd.Tree.kind with
+    | Tree.Source ->
+      if i <> Tree.root tree then err "source at non-root node %d" i
+    | Tree.Sink _ ->
+      if nd.Tree.children <> [] then err "sink %d is not a leaf" i
+    | Tree.Internal | Tree.Buffer _ -> ());
+    if nd.Tree.snake < 0 then err "node %d has negative snake" i;
+    if nd.Tree.wire_class < 0 || nd.Tree.wire_class >= Array.length tech.Tech.wires
+    then err "node %d has invalid wire class %d" i nd.Tree.wire_class;
+    if nd.Tree.parent >= 0 then begin
+      let parent_pos = (Tree.node tree nd.Tree.parent).Tree.pos in
+      match nd.Tree.route with
+      | [] ->
+        if nd.Tree.geom_len < Point.dist parent_pos nd.Tree.pos then
+          err "node %d: geom_len %d < Manhattan distance %d" i nd.Tree.geom_len
+            (Point.dist parent_pos nd.Tree.pos)
+      | route ->
+        let first = List.hd route in
+        let last = List.nth route (List.length route - 1) in
+        if not (Point.equal first parent_pos) then
+          err "node %d: route does not start at parent position" i;
+        if not (Point.equal last nd.Tree.pos) then
+          err "node %d: route does not end at node position" i;
+        let len =
+          match route with
+          | [] -> 0
+          | f :: _ ->
+            snd (List.fold_left (fun (p, a) q -> (q, a + Point.dist p q)) (f, 0) route)
+        in
+        if len <> nd.Tree.geom_len then
+          err "node %d: geom_len %d but route length %d" i nd.Tree.geom_len len
+    end
+  done;
+  List.rev !errors
+
+let check_exn tree =
+  match check tree with
+  | [] -> ()
+  | errors -> failwith ("Ctree.Validate: " ^ String.concat "; " errors)

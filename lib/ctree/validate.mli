@@ -1,0 +1,16 @@
+(** Structural invariant checking for clock trees. Used by tests and after
+    every destructive optimization step in debug builds. *)
+
+(** All violated invariants as human-readable messages; [[]] means the tree
+    is well-formed. Checked invariants:
+    - parent/children cross-consistency and acyclicity from the root
+    - exactly one source, at the root
+    - geometric lengths match embeddings (route polylines, L-bends)
+    - snake lengths are non-negative
+    - wire classes are valid for the technology
+    - explicit routes start/end at the right positions
+    - sinks are leaves *)
+val check : Tree.t -> string list
+
+(** @raise Failure with all messages when the tree is malformed. *)
+val check_exn : Tree.t -> unit

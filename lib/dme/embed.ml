@@ -1,0 +1,26 @@
+open Geometry
+module Tree = Ctree.Tree
+
+let build ~tech ~source ~merged ~sink_info ~wire_class =
+  let tree = Tree.create ~tech ~source_pos:source in
+  let rec place (m : Merge.t) ~parent ~parent_pos ~required_len =
+    let pos = Marc.closest_to m.Merge.region parent_pos in
+    let geom = Point.dist parent_pos pos in
+    let electrical = max geom (int_of_float (Float.round required_len)) in
+    let kind =
+      match m.Merge.shape with
+      | Merge.Mleaf i -> Tree.Sink (sink_info i)
+      | Merge.Mnode _ -> Tree.Internal
+    in
+    let id =
+      Tree.add_node tree ~kind ~pos ~parent ~wire_class ~geom_len:geom ()
+    in
+    (Tree.node tree id).Tree.snake <- electrical - geom;
+    match m.Merge.shape with
+    | Merge.Mleaf _ -> ()
+    | Merge.Mnode (a, b, ea, eb) ->
+      place a ~parent:id ~parent_pos:pos ~required_len:ea;
+      place b ~parent:id ~parent_pos:pos ~required_len:eb
+  in
+  place merged ~parent:(Tree.root tree) ~parent_pos:source ~required_len:0.;
+  tree

@@ -1,0 +1,16 @@
+(** Top-down DME phase: choose concrete tapping points inside merging
+    regions and emit the clock tree.
+
+    The clock source connects to the point of the root merging region
+    closest to the source pin — the resulting long wire is the "tree
+    trunk" the paper's buffer sliding/sizing steps operate on. Each child
+    tapping point is the point of its region closest to its parent's
+    chosen point; any difference between the balanced electrical length and
+    the geometric distance becomes snake length on that wire. *)
+
+(** [build ~tech ~source ~merged ~sink_info ~wire_class] — [sink_info i]
+    gives the sink's load cap, required parity and label for leaf index
+    [i]. *)
+val build :
+  tech:Tech.t -> source:Geometry.Point.t -> merged:Merge.t ->
+  sink_info:(int -> Ctree.Tree.sink) -> wire_class:int -> Ctree.Tree.t

@@ -1,0 +1,114 @@
+open Geometry
+
+type t = {
+  region : Marc.t;
+  cap : float;
+  delay : float;      (* max Elmore delay from the tapping point *)
+  delay_min : float;  (* min Elmore delay from the tapping point *)
+  shape : shape;
+}
+
+and shape = Mleaf of int | Mnode of t * t * float * float
+
+let edge_delay ~wire ~len ~load =
+  let r = wire.Tech.Wire.res_per_nm *. len in
+  let c = wire.Tech.Wire.cap_per_nm *. len in
+  Tech.Units.ps_of_rc r ((c /. 2.) +. load)
+
+(* Extension length x >= 0 such that driving [load] through x nm of wire
+   adds exactly [delta] ps: r·x·(c·x/2 + load)·k = delta with k the Ω·fF→ps
+   scale. Positive root of the quadratic. *)
+let extension ~wire ~load ~delta =
+  if delta <= 0. then 0.
+  else begin
+    let r = wire.Tech.Wire.res_per_nm and c = wire.Tech.Wire.cap_per_nm in
+    let k = Tech.Units.rc_to_ps in
+    (* (r·c·k/2)·x² + (r·load·k)·x − delta = 0 *)
+    let a = r *. c *. k /. 2. and b = r *. load *. k in
+    ((-.b) +. sqrt ((b *. b) +. (4. *. a *. delta))) /. (2. *. a)
+  end
+
+let rec bottom_up ?(skew_budget = 0.) topo ~positions ~caps ~wire =
+  match topo with
+  | Topology.Leaf i ->
+    { region = Marc.of_point positions.(i); cap = caps.(i); delay = 0.;
+      delay_min = 0.; shape = Mleaf i }
+  | Topology.Node (ta, tb) ->
+    let a = bottom_up ~skew_budget ta ~positions ~caps ~wire in
+    let b = bottom_up ~skew_budget tb ~positions ~caps ~wire in
+    let d = float_of_int (Marc.dist a.region b.region) in
+    let r = wire.Tech.Wire.res_per_nm and c = wire.Tech.Wire.cap_per_nm in
+    let k = Tech.Units.rc_to_ps in
+    (* Tsay's balance point: ea·r·(cd + capa + capb) = B − A + r·d(c·d/2 +
+       capb), all in ps via k. *)
+    let ea =
+      if d = 0. then
+        if a.delay >= b.delay then 0. else 1.  (* degenerate; resolved below *)
+      else
+        (b.delay -. a.delay +. (r *. d *. ((c *. d /. 2.) +. b.cap) *. k))
+        /. (r *. ((c *. d) +. a.cap +. b.cap) *. k)
+    in
+    let ea, eb, region =
+      if d > 0. && ea >= 0. && ea <= d then begin
+        let eb = d -. ea in
+        let ra = int_of_float (Float.round ea) in
+        let rb = int_of_float d - ra in
+        let region =
+          match
+            Marc.intersect (Marc.expand a.region ra) (Marc.expand b.region rb)
+          with
+          | Some m -> m
+          | None ->
+            (* Integer rounding can separate the TRRs by 1 nm; widen. *)
+            (match
+               Marc.intersect
+                 (Marc.expand a.region (ra + 1))
+                 (Marc.expand b.region (rb + 1))
+             with
+            | Some m -> m
+            | None -> Marc.of_point (Marc.center a.region))
+        in
+        (ea, eb, region)
+      end
+      else begin
+        (* One branch is intrinsically too slow: tap on its region and
+           either absorb the imbalance within the skew budget (bounded-
+           skew mode — saves the snake wirelength) or elongate (snake) the
+           wire towards the fast branch. The retained region is restricted
+           to tapping points geometrically reachable within the elongated
+           length so the balance stays exact after embedding. *)
+        let slow, fast, slow_first =
+          if a.delay >= b.delay then (a, b, true) else (b, a, false)
+        in
+        let gap =
+          slow.delay -. (fast.delay +. edge_delay ~wire ~len:d ~load:fast.cap)
+        in
+        let spread_budget =
+          skew_budget
+          -. Float.max (a.delay -. a.delay_min) (b.delay -. b.delay_min)
+        in
+        let e_fast =
+          if gap <= spread_budget then d
+          else
+            Float.max d
+              (extension ~wire ~load:fast.cap ~delta:(slow.delay -. fast.delay))
+        in
+        let region =
+          match
+            Marc.intersect slow.region
+              (Marc.expand fast.region (int_of_float (Float.round e_fast)))
+          with
+          | Some m -> m
+          | None -> slow.region
+        in
+        if slow_first then (0., e_fast, region) else (e_fast, 0., region)
+      end
+    in
+    let da = a.delay +. edge_delay ~wire ~len:ea ~load:a.cap in
+    let db = b.delay +. edge_delay ~wire ~len:eb ~load:b.cap in
+    let da_min = a.delay_min +. edge_delay ~wire ~len:ea ~load:a.cap in
+    let db_min = b.delay_min +. edge_delay ~wire ~len:eb ~load:b.cap in
+    let cap = a.cap +. b.cap +. (c *. (ea +. eb)) in
+    { region; cap; delay = Float.max da db;
+      delay_min = Float.min da_min db_min;
+      shape = Mnode (a, b, ea, eb) }

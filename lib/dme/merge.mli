@@ -1,0 +1,40 @@
+(** Bottom-up DME phase: merging segments with Elmore-balanced tapping
+    points.
+
+    For each topology node the merging region (a Manhattan arc / tilted
+    rectangle) is computed together with the electrical edge lengths
+    towards the two children. When one branch is intrinsically too slow,
+    the fast branch's edge is elongated beyond the geometric distance
+    (wire snaking) to preserve zero Elmore skew. *)
+
+type t = {
+  region : Geometry.Marc.t;  (** locus of zero-skew tapping points *)
+  cap : float;    (** downstream capacitance incl. subtree wires, fF *)
+  delay : float;  (** worst Elmore delay from the tapping point, ps *)
+  delay_min : float;
+      (** best Elmore delay — [delay -. delay_min] is the subtree's skew
+          spread, zero in plain ZST mode *)
+  shape : shape;
+}
+
+and shape =
+  | Mleaf of int  (** sink index *)
+  | Mnode of t * t * float * float
+      (** children plus electrical edge lengths (nm) towards each *)
+
+(** [bottom_up topo ~positions ~caps ~wire] — [caps.(i)] is the load of
+    sink [i], [wire] the wire class used for merging.
+
+    [skew_budget] (ps, default 0 = exact ZST) enables bounded-skew
+    merging: when one branch is intrinsically slower, the imbalance is
+    absorbed — the fast branch's snake elongation is skipped — as long as
+    the subtree's Elmore delay spread stays within the budget. Larger
+    budgets save snaking wirelength at the cost of construction-time skew
+    (the BST trade-off of Cong et al. / Huang-Kahng-Tsao, paper §II). *)
+val bottom_up :
+  ?skew_budget:float -> Topology.t -> positions:Geometry.Point.t array ->
+  caps:float array -> wire:Tech.Wire.t -> t
+
+(** Elmore delay of [len] nm of [wire] into [load] fF — exposed for
+    tests. *)
+val edge_delay : wire:Tech.Wire.t -> len:float -> load:float -> float

@@ -1,0 +1,24 @@
+type sink_spec = {
+  pos : Geometry.Point.t;
+  cap : float;
+  parity : int;
+  label : string;
+}
+
+let build ~tech ~source ?wire_class ?(skew_budget = 0.) sinks =
+  if Array.length sinks = 0 then invalid_arg "Zst.build: no sinks";
+  let wire_class =
+    match wire_class with Some w -> w | None -> Tech.widest_wire tech
+  in
+  let positions = Array.map (fun s -> s.pos) sinks in
+  let caps = Array.map (fun s -> s.cap) sinks in
+  let topo = Topology.generate positions in
+  let merged =
+    Merge.bottom_up ~skew_budget topo ~positions ~caps
+      ~wire:(Tech.wire tech wire_class)
+  in
+  let sink_info i =
+    let s = sinks.(i) in
+    { Ctree.Tree.cap = s.cap; parity = s.parity; label = s.label }
+  in
+  Embed.build ~tech ~source ~merged ~sink_info ~wire_class

@@ -1,0 +1,20 @@
+(** End-to-end zero-skew-tree construction: Edahiro topology → bottom-up
+    merging segments → top-down embedding. The result has (near-)zero
+    Elmore skew, before buffering. *)
+
+type sink_spec = {
+  pos : Geometry.Point.t;
+  cap : float;    (** fF *)
+  parity : int;   (** required inversions mod 2; 0 for standard sinks *)
+  label : string;
+}
+
+(** [build ~tech ~source ~sinks] constructs the unbuffered ZST using the
+    technology's widest wire class (override with [wire_class]).
+    [skew_budget] (ps) switches to bounded-skew construction: snake
+    elongations are skipped while the Elmore-delay spread stays within the
+    budget, trading construction skew for wirelength (see
+    {!Merge.bottom_up}). @raise Invalid_argument when [sinks] is empty. *)
+val build :
+  tech:Tech.t -> source:Geometry.Point.t -> ?wire_class:int ->
+  ?skew_budget:float -> sink_spec array -> Ctree.Tree.t

@@ -1,0 +1,28 @@
+(** Uniform spatial hash over integer points, for nearest-neighbour queries
+    during Edahiro-style topology generation.
+
+    Elements are identified by integer ids; an id may be present at most
+    once. *)
+
+type t
+
+(** [create ~cell] with the bucket edge length in nm ([cell > 0]). Pick the
+    expected nearest-neighbour spacing for best performance; correctness
+    does not depend on the choice. *)
+val create : cell:int -> t
+
+val add : t -> int -> Point.t -> unit
+
+(** Remove an id; silently ignores absent ids. *)
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+val size : t -> int
+val position : t -> int -> Point.t option
+
+(** [nearest t ?exclude p] is the member closest to [p] in Manhattan
+    distance among those for which [exclude] is false (default: nothing
+    excluded). Ties break towards the smaller id. *)
+val nearest : t -> ?exclude:(int -> bool) -> Point.t -> (int * Point.t) option
+
+val iter : t -> (int -> Point.t -> unit) -> unit

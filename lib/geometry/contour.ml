@@ -1,0 +1,238 @@
+type t = {
+  rects : Rect.t array;
+  pts : Point.t array;   (* CCW outline, edge i = pts.(i) -> pts.(i+1 mod n) *)
+  cum : int array;       (* cum.(i) = arc length from pts.(0) to pts.(i) *)
+  perimeter : int;
+}
+
+let sorted_uniq l =
+  List.sort_uniq Int.compare l
+
+(* Boundary edges of the covered cells, directed so that the interior is on
+   the walker's left: outer loops come out counter-clockwise. *)
+let boundary_edges rects =
+  let xs = sorted_uniq (List.concat_map (fun (r : Rect.t) -> [ r.lx; r.hx ]) rects) in
+  let ys = sorted_uniq (List.concat_map (fun (r : Rect.t) -> [ r.ly; r.hy ]) rects) in
+  let xs = Array.of_list xs and ys = Array.of_list ys in
+  let nx = Array.length xs - 1 and ny = Array.length ys - 1 in
+  let covered i j =
+    i >= 0 && i < nx && j >= 0 && j < ny
+    && List.exists
+         (fun (r : Rect.t) ->
+           r.lx <= xs.(i) && xs.(i + 1) <= r.hx
+           && r.ly <= ys.(j) && ys.(j + 1) <= r.hy)
+         rects
+  in
+  let edges = ref [] in
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      if covered i j then begin
+        let p a b = Point.make xs.(a) ys.(b) in
+        if not (covered i (j - 1)) then edges := (p i j, p (i + 1) j) :: !edges;
+        if not (covered i (j + 1)) then edges := (p (i + 1) (j + 1), p i (j + 1)) :: !edges;
+        if not (covered (i - 1) j) then edges := (p i (j + 1), p i j) :: !edges;
+        if not (covered (i + 1) j) then edges := (p (i + 1) j, p (i + 1) (j + 1)) :: !edges
+      end
+    done
+  done;
+  !edges
+
+let dir (a : Point.t) (b : Point.t) =
+  (compare b.x a.x, compare b.y a.y)
+
+(* Left-turn preference when several boundary edges leave a vertex (pinch
+   points): ranks candidate directions by the turn relative to the incoming
+   direction, sharpest left first. *)
+let turn_rank (dx, dy) (dx', dy') =
+  (* left of (dx,dy) is (-dy,dx) *)
+  if (dx', dy') = (-dy, dx) then 0
+  else if (dx', dy') = (dx, dy) then 1
+  else if (dx', dy') = (dy, -dx) then 2
+  else 3
+
+let extract_loops edges =
+  let out = Hashtbl.create 64 in
+  List.iter
+    (fun ((a, _) as e) ->
+      let cur = try Hashtbl.find out a with Not_found -> [] in
+      Hashtbl.replace out a (e :: cur))
+    edges;
+  let take_from a incoming =
+    match Hashtbl.find_opt out a with
+    | None | Some [] -> None
+    | Some [ e ] -> Hashtbl.remove out a; Some e
+    | Some es ->
+      let best =
+        List.sort
+          (fun (_, b1) (_, b2) ->
+            Int.compare (turn_rank incoming (dir a b1)) (turn_rank incoming (dir a b2)))
+          es
+        |> List.hd
+      in
+      Hashtbl.replace out a (List.filter (fun e -> e != best) es);
+      Some best
+  in
+  let loops = ref [] in
+  let rec drain () =
+    (* Pick any remaining edge as a loop seed. *)
+    let seed =
+      Hashtbl.fold (fun _ es acc -> match acc, es with Some _, _ -> acc | None, e :: _ -> Some e | None, [] -> None)
+        out None
+    in
+    match seed with
+    | None -> ()
+    | Some (a0, b0) ->
+      ignore (take_from a0 (dir a0 b0));
+      let rec walk acc prev cur =
+        if Point.equal cur a0 then List.rev acc
+        else
+          match take_from cur (dir prev cur) with
+          | None -> List.rev acc (* open chain: malformed input; stop *)
+          | Some (_, nxt) -> walk (cur :: acc) cur nxt
+      in
+      let loop = a0 :: walk [] a0 b0 in
+      loops := loop :: !loops;
+      drain ()
+  in
+  drain ();
+  !loops
+
+let merge_collinear pts =
+  let n = List.length pts in
+  if n < 3 then pts
+  else
+    let arr = Array.of_list pts in
+    let keep = ref [] in
+    for i = n - 1 downto 0 do
+      let p = arr.((i + n - 1) mod n) and q = arr.(i) and r = arr.((i + 1) mod n) in
+      if not (dir p q = dir q r) then keep := q :: !keep
+    done;
+    !keep
+
+let signed_area2 pts =
+  let arr = Array.of_list pts in
+  let n = Array.length arr in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let (p : Point.t) = arr.(i) and (q : Point.t) = arr.((i + 1) mod n) in
+    acc := !acc + ((p.x * q.y) - (q.x * p.y))
+  done;
+  !acc
+
+let of_rects rects_list =
+  if rects_list = [] then invalid_arg "Contour.of_rects: empty list";
+  (match Rect.compound_groups rects_list with
+  | [ _ ] -> ()
+  | _ -> invalid_arg "Contour.of_rects: rectangles do not form one compound");
+  let loops = extract_loops (boundary_edges rects_list) in
+  let outer =
+    List.fold_left
+      (fun best l ->
+        match best with
+        | None -> Some l
+        | Some b -> if abs (signed_area2 l) > abs (signed_area2 b) then Some l else best)
+      None loops
+  in
+  let outer = match outer with Some l -> merge_collinear l | None -> invalid_arg "Contour.of_rects: no boundary" in
+  let pts = Array.of_list outer in
+  let n = Array.length pts in
+  let cum = Array.make n 0 in
+  for i = 1 to n - 1 do
+    cum.(i) <- cum.(i - 1) + Point.dist pts.(i - 1) pts.(i)
+  done;
+  let perimeter = cum.(n - 1) + Point.dist pts.(n - 1) pts.(0) in
+  { rects = Array.of_list rects_list; pts; cum; perimeter }
+
+let vertices t = Array.to_list t.pts
+let perimeter t = t.perimeter
+
+let contains t p = Array.exists (fun r -> Rect.contains r p) t.rects
+
+(* Closest point of the axis-parallel segment [a,b] to [p]. *)
+let closest_on_edge (a : Point.t) (b : Point.t) (p : Point.t) =
+  let clamp v lo hi = min (max v lo) hi in
+  if a.y = b.y then Point.make (clamp p.x (min a.x b.x) (max a.x b.x)) a.y
+  else Point.make a.x (clamp p.y (min a.y b.y) (max a.y b.y))
+
+let project t p =
+  let n = Array.length t.pts in
+  let best = ref (max_int, 0, t.pts.(0)) in
+  for i = 0 to n - 1 do
+    let a = t.pts.(i) and b = t.pts.((i + 1) mod n) in
+    let c = closest_on_edge a b p in
+    let d = Point.dist c p in
+    let bd, _, _ = !best in
+    if d < bd then best := (d, t.cum.(i) + Point.dist a c, c)
+  done;
+  let _, s, c = !best in
+  (s, c)
+
+let norm t s =
+  let s = s mod t.perimeter in
+  if s < 0 then s + t.perimeter else s
+
+(* Index of the edge containing parameter [s] (normalised). *)
+let edge_at t s =
+  let n = Array.length t.pts in
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi + 1) / 2 in
+      if t.cum.(mid) <= s then bs mid hi else bs lo (mid - 1)
+  in
+  bs 0 (n - 1)
+
+let point_at t s =
+  let s = norm t s in
+  let i = edge_at t s in
+  let n = Array.length t.pts in
+  let a = t.pts.(i) and b = t.pts.((i + 1) mod n) in
+  let off = s - t.cum.(i) in
+  if a.y = b.y then Point.make (a.x + (compare b.x a.x * off)) a.y
+  else Point.make a.x (a.y + (compare b.y a.y * off))
+
+let dist_forward t s1 s2 = norm t (norm t s2 - norm t s1)
+
+let dist_along t s1 s2 =
+  let d = dist_forward t s1 s2 in
+  min d (t.perimeter - d)
+
+let rec path_between t direction s1 s2 =
+  match direction with
+  | `Backward -> List.rev (path_between_fwd t s2 s1)
+  | `Forward -> path_between_fwd t s1 s2
+
+and path_between_fwd t s1 s2 =
+  let s1 = norm t s1 and s2 = norm t s2 in
+  let n = Array.length t.pts in
+  let start = point_at t s1 and stop = point_at t s2 in
+  let acc = ref [ start ] in
+  let i = ref (edge_at t s1) in
+  let remaining = dist_forward t s1 s2 in
+  let travelled = ref 0 in
+  (* Walk vertex by vertex until the forward distance is consumed. *)
+  let continue = ref (remaining > 0) in
+  while !continue do
+    let j = (!i + 1) mod n in
+    let vertex_param = if j = 0 then t.perimeter else t.cum.(j) in
+    let step = vertex_param - (if !travelled = 0 then s1 else t.cum.(!i)) in
+    travelled := !travelled + step;
+    if !travelled >= remaining then continue := false
+    else begin
+      acc := t.pts.(j) :: !acc;
+      i := j
+    end
+  done;
+  let path = List.rev (stop :: !acc) in
+  (* Drop duplicate consecutive points (when s1/s2 sit on vertices). *)
+  let rec dedup = function
+    | a :: b :: rest when Point.equal a b -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup path
+
+let shortest_path t s1 s2 =
+  if dist_forward t s1 s2 <= dist_forward t s2 s1 then
+    path_between t `Forward s1 s2
+  else path_between t `Backward s1 s2

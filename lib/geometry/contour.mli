@@ -1,0 +1,45 @@
+(** Rectilinear outline of a compound obstacle (a connected union of
+    rectangles), with arc-length parametrisation.
+
+    The Contango detour algorithm (paper §IV-A, Fig. 2) routes along the
+    contour of a compound obstacle; it needs the closest boundary point to
+    an arbitrary location, distances measured along the contour, and the
+    concrete polyline between two boundary parameters. *)
+
+type t
+
+(** Outer boundary of the union of the rectangles. The rectangles must form
+    a single connected compound (see {!Rect.compound_groups}).
+    @raise Invalid_argument on an empty list or a disconnected compound. *)
+val of_rects : Rect.t list -> t
+
+(** Counter-clockwise vertex list of the outline (no repeated last
+    vertex). *)
+val vertices : t -> Point.t list
+
+val perimeter : t -> int
+
+(** [project t p] is the closest boundary point to [p] together with its
+    arc-length parameter in [0, perimeter). *)
+val project : t -> Point.t -> int * Point.t
+
+(** Boundary point at a (cyclic) arc-length parameter. *)
+val point_at : t -> int -> Point.t
+
+(** Minimum cyclic distance along the contour between two parameters. *)
+val dist_along : t -> int -> int -> int
+
+(** Forward walking distance from [s1] to [s2] (in [0, perimeter)). *)
+val dist_forward : t -> int -> int -> int
+
+(** Polyline from parameter [s1] to [s2] walking in the given direction
+    (vertices of the contour in between included; endpoints are the
+    concrete boundary points). *)
+val path_between : t -> [ `Forward | `Backward ] -> int -> int -> Point.t list
+
+(** Polyline along the shorter of the two directions. *)
+val shortest_path : t -> int -> int -> Point.t list
+
+(** [contains t p] — is [p] inside the compound region (boundary
+    inclusive)? *)
+val contains : t -> Point.t -> bool

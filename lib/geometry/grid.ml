@@ -1,0 +1,175 @@
+(* Binary min-heap keyed by int priorities. *)
+module Heap = struct
+  type t = { mutable data : (int * int) array; mutable size : int }
+
+  let create () = { data = Array.make 64 (0, 0); size = 0 }
+
+  let push h prio v =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.data.(!i) <- (prio, v);
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if fst h.data.(parent) > fst h.data.(!i) then begin
+        let tmp = h.data.(parent) in
+        h.data.(parent) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let path_length = function
+  | [] -> 0
+  | first :: _ as pts ->
+    snd
+      (List.fold_left
+         (fun (prev, acc) p -> (p, acc + Point.dist prev p))
+         (first, 0) pts)
+
+let sorted_uniq = List.sort_uniq Int.compare
+
+(* Escape a terminal strictly inside an obstacle to the closest point of
+   that obstacle's boundary. *)
+let escape obstacles (p : Point.t) =
+  match List.find_opt (fun r -> Rect.contains_open r p) obstacles with
+  | None -> p
+  | Some (r : Rect.t) ->
+    let candidates =
+      [ Point.make r.lx p.y; Point.make r.hx p.y;
+        Point.make p.x r.ly; Point.make p.x r.hy ]
+    in
+    List.fold_left
+      (fun best c -> if Point.dist p c < Point.dist p best then c else best)
+      (Point.make r.lx p.y) candidates
+
+let route ~obstacles ~src ~dst =
+  let src' = escape obstacles src and dst' = escape obstacles dst in
+  let margin = 1 + (Point.dist src' dst' / 2) in
+  let bbox =
+    Rect.bounding_box
+      (Rect.of_points src' dst' :: obstacles)
+  in
+  let region = Rect.expand bbox margin in
+  let xs =
+    sorted_uniq
+      (region.lx :: region.hx :: src'.x :: dst'.x
+      :: List.concat_map (fun (r : Rect.t) -> [ r.lx; r.hx ]) obstacles)
+  in
+  let ys =
+    sorted_uniq
+      (region.ly :: region.hy :: src'.y :: dst'.y
+      :: List.concat_map (fun (r : Rect.t) -> [ r.ly; r.hy ]) obstacles)
+  in
+  let xs = Array.of_list xs and ys = Array.of_list ys in
+  let nx = Array.length xs and ny = Array.length ys in
+  let id i j = (i * ny) + j in
+  let blocked_h i j =
+    (* horizontal step from (i,j) to (i+1,j) *)
+    List.exists
+      (fun (r : Rect.t) ->
+        r.ly < ys.(j) && ys.(j) < r.hy && r.lx <= xs.(i) && xs.(i + 1) <= r.hx)
+      obstacles
+  in
+  let blocked_v i j =
+    List.exists
+      (fun (r : Rect.t) ->
+        r.lx < xs.(i) && xs.(i) < r.hx && r.ly <= ys.(j) && ys.(j + 1) <= r.hy)
+      obstacles
+  in
+  let find arr v =
+    let rec bs lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if arr.(mid) < v then bs (mid + 1) hi else bs lo mid
+    in
+    bs 0 (Array.length arr - 1)
+  in
+  let si = find xs src'.x and sj = find ys src'.y in
+  let di = find xs dst'.x and dj = find ys dst'.y in
+  let n = nx * ny in
+  let dist = Array.make n max_int in
+  let prev = Array.make n (-1) in
+  let heap = Heap.create () in
+  dist.(id si sj) <- 0;
+  Heap.push heap 0 (id si sj);
+  let target = id di dj in
+  let finished = ref false in
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+      if v = target then finished := true
+      else if d > dist.(v) then loop ()
+      else begin
+        let i = v / ny and j = v mod ny in
+        let relax i' j' w =
+          let v' = id i' j' in
+          if d + w < dist.(v') then begin
+            dist.(v') <- d + w;
+            prev.(v') <- v;
+            Heap.push heap (d + w) v'
+          end
+        in
+        if i + 1 < nx && not (blocked_h i j) then relax (i + 1) j (xs.(i + 1) - xs.(i));
+        if i > 0 && not (blocked_h (i - 1) j) then relax (i - 1) j (xs.(i) - xs.(i - 1));
+        if j + 1 < ny && not (blocked_v i j) then relax i (j + 1) (ys.(j + 1) - ys.(j));
+        if j > 0 && not (blocked_v i (j - 1)) then relax i (j - 1) (ys.(j) - ys.(j - 1));
+        loop ()
+      end
+  in
+  loop ();
+  if not !finished && dist.(target) = max_int then None
+  else begin
+    let rec backtrack v acc =
+      let i = v / ny and j = v mod ny in
+      let acc = Point.make xs.(i) ys.(j) :: acc in
+      if prev.(v) = -1 then acc else backtrack prev.(v) acc
+    in
+    let pts = backtrack target [] in
+    (* Stitch in the escape stubs and merge collinear interior points. *)
+    let pts = (if Point.equal src src' then [] else [ src ]) @ pts in
+    let pts = pts @ (if Point.equal dst dst' then [] else [ dst ]) in
+    let rec simplify = function
+      | a :: b :: rest when Point.equal a b -> simplify (b :: rest)
+      | a :: b :: c :: rest ->
+        if (a.Point.x = b.Point.x && b.Point.x = c.Point.x)
+           || (a.Point.y = b.Point.y && b.Point.y = c.Point.y)
+        then simplify (a :: c :: rest)
+        else a :: simplify (b :: c :: rest)
+      | l -> l
+    in
+    Some (simplify pts)
+  end

@@ -1,0 +1,21 @@
+(** Coordinate-compressed rectilinear maze router.
+
+    Routes a point-to-point connection around obstacle interiors on the
+    Hanan grid induced by the obstacle corners and the two terminals.
+    Routing along obstacle boundaries is allowed (the ISPD'09 rules allow
+    wires over blockages; the detouring policy decides when crossing is
+    acceptable — this router provides the fully-avoiding alternative). *)
+
+(** [route ~obstacles ~src ~dst] is the shortest rectilinear path from
+    [src] to [dst] whose segments never cross an obstacle interior, as a
+    polyline including both endpoints (collinear interior vertices are
+    merged), or [None] when no such path exists inside the routing region
+    (the bounding box of everything, expanded by a margin).
+
+    Terminals strictly inside an obstacle are first escaped to the nearest
+    boundary point, and the escape stub is included in the path. *)
+val route :
+  obstacles:Rect.t list -> src:Point.t -> dst:Point.t -> Point.t list option
+
+(** Length of a polyline returned by {!route}. *)
+val path_length : Point.t list -> int

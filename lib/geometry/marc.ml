@@ -1,0 +1,64 @@
+type t = { ulo : int; uhi : int; vlo : int; vhi : int }
+
+let uv_of_point (p : Point.t) = (p.x + p.y, p.x - p.y)
+
+(* Snap a (u, v) pair to valid parity (u ≡ v mod 2), preferring to stay
+   within [box] when adjusting. *)
+let point_of_uv_snapped box (u, v) =
+  let u =
+    if (u - v) land 1 = 0 then u
+    else if u + 1 <= box.uhi then u + 1
+    else u - 1
+  in
+  Point.make ((u + v) asr 1) ((u - v) asr 1)
+
+let of_point p =
+  let u, v = uv_of_point p in
+  { ulo = u; uhi = u; vlo = v; vhi = v }
+
+let of_arc a b =
+  let ua, va = uv_of_point a and ub, vb = uv_of_point b in
+  if ua <> ub && va <> vb then
+    invalid_arg
+      (Printf.sprintf "Marc.of_arc: %s-%s is not a Manhattan arc"
+         (Point.to_string a) (Point.to_string b));
+  { ulo = min ua ub; uhi = max ua ub; vlo = min va vb; vhi = max va vb }
+
+let of_uv ~ulo ~uhi ~vlo ~vhi =
+  if uhi < ulo || vhi < vlo then invalid_arg "Marc.of_uv: inverted bounds";
+  { ulo; uhi; vlo; vhi }
+
+let expand t r =
+  if r < 0 then invalid_arg "Marc.expand: negative radius";
+  { ulo = t.ulo - r; uhi = t.uhi + r; vlo = t.vlo - r; vhi = t.vhi + r }
+
+let intersect a b =
+  let ulo = max a.ulo b.ulo and uhi = min a.uhi b.uhi in
+  let vlo = max a.vlo b.vlo and vhi = min a.vhi b.vhi in
+  if uhi < ulo || vhi < vlo then None else Some { ulo; uhi; vlo; vhi }
+
+let gap lo hi lo' hi' = max 0 (max (lo - hi') (lo' - hi))
+let dist a b = max (gap a.ulo a.uhi b.ulo b.uhi) (gap a.vlo a.vhi b.vlo b.vhi)
+
+let dist_to_point t p =
+  let u, v = uv_of_point p in
+  max (gap t.ulo t.uhi u u) (gap t.vlo t.vhi v v)
+
+let contains t p = dist_to_point t p = 0
+
+let closest_to t p =
+  let u, v = uv_of_point p in
+  let cu = min (max u t.ulo) t.uhi and cv = min (max v t.vlo) t.vhi in
+  point_of_uv_snapped t (cu, cv)
+
+let center t =
+  point_of_uv_snapped t ((t.ulo + t.uhi) asr 1, (t.vlo + t.vhi) asr 1)
+
+let is_arc t = t.ulo = t.uhi || t.vlo = t.vhi
+
+let endpoints t =
+  ( point_of_uv_snapped t (t.ulo, t.vlo),
+    point_of_uv_snapped t (t.uhi, t.vhi) )
+
+let pp ppf t =
+  Format.fprintf ppf "u[%d,%d]v[%d,%d]" t.ulo t.uhi t.vlo t.vhi

@@ -1,0 +1,52 @@
+(** Manhattan arcs and tilted rectangle regions (TRRs).
+
+    DME merging segments are segments of slope ±1 ("Manhattan arcs"); the
+    locus of points within Manhattan distance [r] of an arc is a tilted
+    rectangle. Under the rotation [u = x + y], [v = x - y] Manhattan
+    distance becomes Chebyshev (L∞) distance and every tilted rectangle
+    becomes an axis-parallel rectangle, so all TRR operations reduce to
+    interval arithmetic. A region is stored as its (u, v) interval box.
+
+    Valid layout points satisfy [u ≡ v (mod 2)]; conversions back to layout
+    coordinates snap by at most 1 nm when a degenerate region falls on an
+    invalid parity. *)
+
+type t = private { ulo : int; uhi : int; vlo : int; vhi : int }
+
+val of_point : Point.t -> t
+
+(** Arc through two points of slope ±1 (or a degenerate point).
+    @raise Invalid_argument when the points do not lie on a common
+    Manhattan arc. *)
+val of_arc : Point.t -> Point.t -> t
+
+(** Raw constructor for tests. @raise Invalid_argument on inverted bounds. *)
+val of_uv : ulo:int -> uhi:int -> vlo:int -> vhi:int -> t
+
+(** Minkowski expansion by Manhattan radius [r >= 0]. *)
+val expand : t -> int -> t
+
+val intersect : t -> t -> t option
+
+(** Minimum Manhattan distance between the two regions (0 if they meet). *)
+val dist : t -> t -> int
+
+val dist_to_point : t -> Point.t -> int
+val contains : t -> Point.t -> bool
+
+(** A point of the region closest (in Manhattan distance) to the argument,
+    snapped to valid parity (the snap may leave the region by at most
+    1 nm). *)
+val closest_to : t -> Point.t -> Point.t
+
+(** Canonical representative point (centre, parity-snapped). *)
+val center : t -> Point.t
+
+(** Is the region a single Manhattan arc (degenerate in u or v)? *)
+val is_arc : t -> bool
+
+(** Endpoints of a Manhattan arc region in layout coordinates; for a full
+    tilted rectangle, the endpoints of one diagonal. *)
+val endpoints : t -> Point.t * Point.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+let origin = { x = 0; y = 0 }
+let dist a b = abs (a.x - b.x) + abs (a.y - b.y)
+
+let dist2_euclid a b =
+  let dx = float_of_int (a.x - b.x) and dy = float_of_int (a.y - b.y) in
+  (dx *. dx) +. (dy *. dy)
+
+let equal a b = a.x = b.x && a.y = b.y
+let compare a b = if a.x <> b.x then Int.compare a.x b.x else Int.compare a.y b.y
+
+let midpoint a b =
+  (* Round towards [a] so that midpoint a b and midpoint b a are both valid
+     grid points even for odd spans. *)
+  let half lo hi = lo + ((hi - lo) / 2) in
+  { x = half a.x b.x; y = half a.y b.y }
+
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+let is_aligned a b = a.x = b.x || a.y = b.y
+let pp ppf p = Format.fprintf ppf "(%d,%d)" p.x p.y
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,28 @@
+(** Integer points on the manufacturing grid (coordinates in nanometres). *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+val origin : t
+
+(** Manhattan (L1) distance. *)
+val dist : t -> t -> int
+
+(** Euclidean distance squared, as float (for tie-breaking only). *)
+val dist2_euclid : t -> t -> float
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Component-wise midpoint, rounded towards the first argument. *)
+val midpoint : t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [is_aligned a b] holds when the two points share an x or y coordinate,
+    i.e. the straight connection is a single axis-parallel segment. *)
+val is_aligned : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

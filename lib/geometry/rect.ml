@@ -1,0 +1,95 @@
+type t = { lx : int; ly : int; hx : int; hy : int }
+
+let make ~lx ~ly ~hx ~hy =
+  if hx < lx || hy < ly then
+    invalid_arg
+      (Printf.sprintf "Rect.make: inverted bounds (%d,%d)-(%d,%d)" lx ly hx hy);
+  { lx; ly; hx; hy }
+
+let of_points (a : Point.t) (b : Point.t) =
+  make ~lx:(min a.x b.x) ~ly:(min a.y b.y) ~hx:(max a.x b.x) ~hy:(max a.y b.y)
+
+let width r = r.hx - r.lx
+let height r = r.hy - r.ly
+let area r = width r * height r
+let center r = Point.make ((r.lx + r.hx) / 2) ((r.ly + r.hy) / 2)
+
+let corners r =
+  [ Point.make r.lx r.ly; Point.make r.hx r.ly;
+    Point.make r.hx r.hy; Point.make r.lx r.hy ]
+
+let contains r (p : Point.t) = r.lx <= p.x && p.x <= r.hx && r.ly <= p.y && p.y <= r.hy
+let contains_open r (p : Point.t) = r.lx < p.x && p.x < r.hx && r.ly < p.y && p.y < r.hy
+
+let intersect a b =
+  let lx = max a.lx b.lx and ly = max a.ly b.ly in
+  let hx = min a.hx b.hx and hy = min a.hy b.hy in
+  if hx < lx || hy < ly then None else Some { lx; ly; hx; hy }
+
+let overlaps_open a b =
+  max a.lx b.lx < min a.hx b.hx && max a.ly b.ly < min a.hy b.hy
+
+let abuts a b =
+  match intersect a b with
+  | None -> false
+  | Some _ -> not (overlaps_open a b)
+
+let touches a b = intersect a b <> None
+
+let expand r d =
+  let lx = r.lx - d and ly = r.ly - d and hx = r.hx + d and hy = r.hy + d in
+  if hx >= lx && hy >= ly then { lx; ly; hx; hy }
+  else
+    let c = center r in
+    { lx = c.x; ly = c.y; hx = c.x; hy = c.y }
+
+let dist_to_point r (p : Point.t) =
+  let dx = max 0 (max (r.lx - p.x) (p.x - r.hx)) in
+  let dy = max 0 (max (r.ly - p.y) (p.y - r.hy)) in
+  dx + dy
+
+let clamp r (p : Point.t) =
+  Point.make (min (max p.x r.lx) r.hx) (min (max p.y r.ly) r.hy)
+
+let bounding_box = function
+  | [] -> invalid_arg "Rect.bounding_box: empty list"
+  | r0 :: rest ->
+    List.fold_left
+      (fun acc r ->
+        { lx = min acc.lx r.lx; ly = min acc.ly r.ly;
+          hx = max acc.hx r.hx; hy = max acc.hy r.hy })
+      r0 rest
+
+(* Union-find over rectangle indices; [touches] pairs are unioned. Quadratic
+   in the number of rectangles, which is fine for layout blockage counts. *)
+let compound_groups rects =
+  let arr = Array.of_list rects in
+  let n = Array.length arr in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  (* Corner-only contact does not merge: a detour cannot pass through a
+     point, so point-touching rectangles act as separate obstacles. *)
+  let connected a b =
+    match intersect a b with
+    | None -> false
+    | Some i -> width i > 0 || height i > 0
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if connected arr.(i) arr.(j) then union i j
+    done
+  done;
+  let groups = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let root = find i in
+    let cur = try Hashtbl.find groups root with Not_found -> [] in
+    Hashtbl.replace groups root (arr.(i) :: cur)
+  done;
+  Hashtbl.fold (fun _ g acc -> List.rev g :: acc) groups []
+
+let equal (a : t) (b : t) = a = b
+let pp ppf r = Format.fprintf ppf "[%d,%d]x[%d,%d]" r.lx r.hx r.ly r.hy

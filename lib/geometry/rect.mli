@@ -1,0 +1,67 @@
+(** Axis-parallel rectangles (closed point sets), used for layout obstacles.
+
+    A rectangle is stored by its lower-left and upper-right corners; both
+    boundaries belong to the rectangle. Degenerate (zero width or height)
+    rectangles are permitted — they behave as segments or points. *)
+
+type t = private { lx : int; ly : int; hx : int; hy : int }
+
+(** [make ~lx ~ly ~hx ~hy] builds a rectangle.
+    @raise Invalid_argument if [hx < lx] or [hy < ly]. *)
+val make : lx:int -> ly:int -> hx:int -> hy:int -> t
+
+val of_points : Point.t -> Point.t -> t
+
+val width : t -> int
+val height : t -> int
+val area : t -> int
+val center : t -> Point.t
+val corners : t -> Point.t list
+
+(** Closed containment: boundary points are inside. *)
+val contains : t -> Point.t -> bool
+
+(** Open containment: strictly inside, boundary excluded. *)
+val contains_open : t -> Point.t -> bool
+
+(** [intersect a b] is the common rectangle of two closed rectangles, or
+    [None] when they are disjoint. Touching rectangles intersect in a
+    degenerate rectangle. *)
+val intersect : t -> t -> t option
+
+(** [overlaps_open a b] holds when the interiors overlap (positive area in
+    both dimensions of the intersection). *)
+val overlaps_open : t -> t -> bool
+
+(** [abuts a b] holds when the closed rectangles share at least a boundary
+    point but their interiors do not overlap. *)
+val abuts : t -> t -> bool
+
+(** [touches a b] = [overlaps_open a b || abuts a b]: the rectangles form a
+    single compound region. *)
+val touches : t -> t -> bool
+
+(** Grow by [d] in every direction (negative [d] shrinks; the result is
+    clamped to a degenerate rectangle at the centre when over-shrunk). *)
+val expand : t -> int -> t
+
+(** Minimum Manhattan distance from a point to the closed rectangle
+    (0 when inside). *)
+val dist_to_point : t -> Point.t -> int
+
+(** Closest point of the closed rectangle to the argument. *)
+val clamp : t -> Point.t -> Point.t
+
+(** Bounding box of a non-empty list.
+    @raise Invalid_argument on an empty list. *)
+val bounding_box : t list -> t
+
+(** Partition rectangles into compound groups: two rectangles are in the
+    same group when connected through a chain of pairs that overlap or
+    share a boundary segment of positive length (corner-only contact does
+    not connect). Order of groups and of members within a group is
+    unspecified. *)
+val compound_groups : t list -> t list list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t = { a : Point.t; b : Point.t }
+
+let make (a : Point.t) (b : Point.t) =
+  if not (Point.is_aligned a b) then
+    invalid_arg
+      (Printf.sprintf "Segment.make: %s and %s are not axis-aligned"
+         (Point.to_string a) (Point.to_string b));
+  { a; b }
+
+let length s = Point.dist s.a s.b
+let is_point s = Point.equal s.a s.b
+let is_horizontal s = s.a.y = s.b.y && not (is_point s)
+let is_vertical s = s.a.x = s.b.x && not (is_point s)
+
+let contains s (p : Point.t) =
+  if s.a.y = s.b.y then
+    p.y = s.a.y && min s.a.x s.b.x <= p.x && p.x <= max s.a.x s.b.x
+  else p.x = s.a.x && min s.a.y s.b.y <= p.y && p.y <= max s.a.y s.b.y
+
+(* Clip a 1-d closed interval [lo,hi] against an open interval (l,h) and
+   return the overlap length. *)
+let clip_open lo hi l h =
+  let lo' = max lo l and hi' = min hi h in
+  max 0 (hi' - lo')
+
+let overlap_with_rect s (r : Rect.t) =
+  if is_point s then 0
+  else if s.a.y = s.b.y then begin
+    (* Horizontal: positive overlap needs y strictly inside. *)
+    if r.ly < s.a.y && s.a.y < r.hy then
+      clip_open (min s.a.x s.b.x) (max s.a.x s.b.x) r.lx r.hx
+    else 0
+  end
+  else if r.lx < s.a.x && s.a.x < r.hx then
+    clip_open (min s.a.y s.b.y) (max s.a.y s.b.y) r.ly r.hy
+  else 0
+
+let crosses_rect s r = overlap_with_rect s r > 0
+let pp ppf s = Format.fprintf ppf "%a--%a" Point.pp s.a Point.pp s.b
+
+module L = struct
+  type config = XY | YX
+
+  let bend config (p : Point.t) (q : Point.t) =
+    match config with
+    | XY -> Point.make q.x p.y
+    | YX -> Point.make p.x q.y
+
+  let segments config p q =
+    let c = bend config p q in
+    let seg a b = if Point.equal a b then [] else [ make a b ] in
+    seg p c @ seg c q
+
+  let overlap config p q rects =
+    List.fold_left
+      (fun acc s ->
+        acc + List.fold_left (fun acc r -> acc + overlap_with_rect s r) 0 rects)
+      0 (segments config p q)
+
+  let best p q rects =
+    let oxy = overlap XY p q rects and oyx = overlap YX p q rects in
+    if oxy <= oyx then (XY, oxy) else (YX, oyx)
+end

@@ -1,0 +1,50 @@
+(** Axis-parallel segments and rectilinear L-shapes.
+
+    Clock-tree wires are embedded as straight segments when their endpoints
+    are aligned, and as one of the two L-shape configurations otherwise. *)
+
+type t = private { a : Point.t; b : Point.t }
+
+(** @raise Invalid_argument when the points are not axis-aligned. *)
+val make : Point.t -> Point.t -> t
+
+val length : t -> int
+val is_horizontal : t -> bool
+val is_vertical : t -> bool
+val is_point : t -> bool
+
+(** Points of the segment at integer parameters, inclusive of endpoints. *)
+val contains : t -> Point.t -> bool
+
+(** Length of the part of the segment lying strictly inside the rectangle
+    (open overlap, in nm). Touching the boundary contributes nothing. *)
+val overlap_with_rect : t -> Rect.t -> int
+
+(** [crosses_rect s r] holds when a positive length of [s] lies inside the
+    open rectangle. *)
+val crosses_rect : t -> Rect.t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Rectilinear L-shapes connecting two arbitrary points. *)
+module L : sig
+  (** The two configurations for connecting [p] to [q]: bend at
+      [(q.x, p.y)] ([XY], horizontal first) or at [(p.x, q.y)] ([YX],
+      vertical first). Aligned endpoints yield a single segment under either
+      configuration. *)
+  type config = XY | YX
+
+  (** The one or two segments of a configuration, in order from [p] to [q].
+      Degenerate (zero-length) segments are omitted. *)
+  val segments : config -> Point.t -> Point.t -> t list
+
+  val bend : config -> Point.t -> Point.t -> Point.t
+
+  (** Total open-overlap length of a configuration with a set of
+      rectangles. *)
+  val overlap : config -> Point.t -> Point.t -> Rect.t list -> int
+
+  (** The configuration of least obstacle overlap (ties prefer [XY]),
+      together with its overlap length. *)
+  val best : Point.t -> Point.t -> Rect.t list -> config * int
+end

@@ -1,0 +1,175 @@
+open Geometry
+module Tree = Ctree.Tree
+module Ev = Analysis.Evaluator
+
+type result = { unlinked : float; linked : float; link_cap : float }
+
+(* Nearest buffer (or source) ancestor: the sink's stage driver. *)
+let rec driver_of tree i =
+  let nd = Tree.node tree i in
+  if nd.Tree.parent < 0 then i
+  else
+    match (Tree.node tree nd.Tree.parent).Tree.kind with
+    | Tree.Buffer _ | Tree.Source -> nd.Tree.parent
+    | _ -> driver_of tree nd.Tree.parent
+
+let r_out_of tree driver =
+  match (Tree.node tree driver).Tree.kind with
+  | Tree.Buffer b -> Tech.Composite.r_out b
+  | _ -> (Tree.tech tree).Tech.source_r
+
+(* Build a Network mirroring one rc stage; returns the map rc-node →
+   network-node and the network node carrying the stage's driver. *)
+let add_stage net (rc : Analysis.Rcnet.t) =
+  let map = Array.make rc.Analysis.Rcnet.size (-1) in
+  for i = 0 to rc.Analysis.Rcnet.size - 1 do
+    map.(i) <- Network.add_node net ~cap:rc.Analysis.Rcnet.cap.(i)
+  done;
+  for i = 1 to rc.Analysis.Rcnet.size - 1 do
+    Network.add_res net
+      map.(rc.Analysis.Rcnet.parent.(i))
+      map.(i)
+      (Float.max 1e-3 rc.Analysis.Rcnet.res.(i))
+  done;
+  map
+
+let sink_net_node (rc : Analysis.Rcnet.t) map sink =
+  let found = ref (-1) in
+  Array.iter
+    (fun (idx, tap) ->
+      match tap with
+      | Analysis.Rcnet.Tap_sink s when s = sink -> found := map.(idx)
+      | _ -> ())
+    rc.Analysis.Rcnet.taps;
+  if !found < 0 then invalid_arg "Crosslink: node is not a sink of its stage";
+  !found
+
+(* Gaussian PRNG as elsewhere. *)
+let normal state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let u i = Int64.to_float (Int64.shift_right_logical (mix (Int64.add !state (Int64.of_int i))) 11)
+            /. 9007199254740992.0 in
+  let u1 = Float.max 1e-12 (u 1) and u2 = u 2 in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let evaluate tree ~eval ~pair:(a, b) ?(sigma = 5.) ?(trials = 20) ?(seed = 1) () =
+  (match ((Tree.node tree a).Tree.kind, (Tree.node tree b).Tree.kind) with
+  | Tree.Sink _, Tree.Sink _ -> ()
+  | _ -> invalid_arg "Crosslink.evaluate: pair must be sinks");
+  let tech = Tree.tech tree in
+  let run = Ev.nominal_run eval Ev.Rise in
+  let da = driver_of tree a and db = driver_of tree b in
+  let stages = Analysis.Rcnet.stages tree in
+  let stage_of d =
+    List.find (fun s -> s.Analysis.Rcnet.driver = d) stages
+  in
+  let sa = stage_of da in
+  (* Launch time of a driver such that the simulated sink arrival matches
+     the evaluator: launch = sink arrival − stage delay; with jitter added
+     per trial it models upstream path variation. *)
+  let simulate_signed ~with_link ~calib jitter_a jitter_b =
+    let net = Network.create () in
+    let map_a = add_stage net sa.Analysis.Rcnet.rc in
+    let same_stage = da = db in
+    let sb = if same_stage then sa else stage_of db in
+    let map_b = if same_stage then map_a else add_stage net sb.Analysis.Rcnet.rc in
+    let na = sink_net_node sa.Analysis.Rcnet.rc map_a a in
+    let nb = sink_net_node sb.Analysis.Rcnet.rc map_b b in
+    if with_link then begin
+      let wire = Tech.wire tech (Tech.widest_wire tech) in
+      let len = Point.dist (Tree.node tree a).Tree.pos (Tree.node tree b).Tree.pos in
+      let r = Float.max 1e-3 (Tech.Wire.res wire len) in
+      Network.add_res net na nb r;
+      Network.add_cap net na (Tech.Wire.cap wire len /. 2.);
+      Network.add_cap net nb (Tech.Wire.cap wire len /. 2.)
+    end;
+    (* Stage-local delays from a quick solo simulation are implicit: use
+       the evaluator's sink latencies minus a common offset — only the
+       DIFFERENCE of launches matters for the arrival difference, so
+       launch each driver at (sink latency + jitter) minus its stage's own
+       nominal delay; approximating both stage delays as equal offsets
+       keeps the nominal difference equal to the evaluator's. *)
+    let base = 200. in
+    let launch_a = base +. jitter_a in
+    let launch_b =
+      base +. jitter_b +. (run.Ev.latency.(b) -. run.Ev.latency.(a)) +. calib
+    in
+    let sources =
+      let src node launch driver =
+        { Network.node; r_drv = r_out_of tree driver; t0 = launch; ramp = 20. }
+      in
+      if same_stage then
+        [ src map_a.(0) (Float.min launch_a launch_b) da ]
+      else
+        [ src map_a.(0) launch_a da; src map_b.(0) launch_b db ]
+    in
+    let results = Network.transient net ~sources ~watch:[| na; nb |] () in
+    fst results.(0) -. fst results.(1)
+  in
+  (* Calibrate out the stage-model bias: at zero jitter the simulated
+     signed difference must equal the evaluator's nominal difference. *)
+  let desired = run.Ev.latency.(a) -. run.Ev.latency.(b) in
+  let raw0 = simulate_signed ~with_link:false ~calib:0. 0. 0. in
+  let calib = raw0 -. desired in
+  let simulate ~with_link ja jb =
+    Float.abs (simulate_signed ~with_link ~calib ja jb)
+  in
+  let state = ref (Int64.of_int seed) in
+  let acc_un = ref 0. and acc_li = ref 0. in
+  for _ = 1 to trials do
+    let ja = sigma *. normal state and jb = sigma *. normal state in
+    acc_un := !acc_un +. simulate ~with_link:false ja jb;
+    acc_li := !acc_li +. simulate ~with_link:true ja jb
+  done;
+  let wire = Tech.wire tech (Tech.widest_wire tech) in
+  let len = Point.dist (Tree.node tree a).Tree.pos (Tree.node tree b).Tree.pos in
+  {
+    unlinked = !acc_un /. float_of_int trials;
+    linked = !acc_li /. float_of_int trials;
+    link_cap = Tech.Wire.cap wire len;
+  }
+
+let candidates tree ~radius ?(limit = 8) () =
+  let sinks = Tree.sinks tree in
+  (* Tree-path distance via lowest common ancestor depth. *)
+  let n = Tree.size tree in
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      let nd = Tree.node tree i in
+      if nd.Tree.parent >= 0 then depth.(i) <- depth.(nd.Tree.parent) + 1)
+    (Tree.topo_order tree);
+  let rec lca x y =
+    if x = y then x
+    else if depth.(x) > depth.(y) then lca (Tree.node tree x).Tree.parent y
+    else lca x (Tree.node tree y).Tree.parent
+  in
+  let scored = ref [] in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if j > i then begin
+            let d =
+              Point.dist (Tree.node tree a).Tree.pos (Tree.node tree b).Tree.pos
+            in
+            if d > 0 && d <= radius then begin
+              let l = lca a b in
+              (* early divergence = shallow LCA relative to the sinks *)
+              let divergence =
+                float_of_int (depth.(a) + depth.(b) - (2 * depth.(l)))
+                /. float_of_int (max 1 d)
+              in
+              scored := (divergence, (a, b)) :: !scored
+            end
+          end)
+        sinks)
+    sinks;
+  List.sort (fun (x, _) (y, _) -> Float.compare y x) !scored
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map snd

@@ -1,0 +1,35 @@
+(** Cross-links: extra wires between nearby sinks of a clock tree.
+
+    Prior literature advocates inserting non-tree links between sinks to
+    average out variation-induced arrival differences; the paper's
+    conclusion argues that trees as well-tuned as Contango's "can make it
+    difficult to justify the insertion of cross-links". This module makes
+    that claim measurable: it evaluates a sink pair's arrival divergence
+    under upstream-variation jitter with and without a linking wire.
+
+    Linked sinks generally live in different driver stages, so the
+    coupled system is no longer a tree: the two stages are merged into one
+    {!Network} with two Thevenin sources (each launching at its tree
+    arrival time) and the link resistor between the sink nodes. *)
+
+type result = {
+  unlinked : float;  (** mean |arrival difference| without the link, ps *)
+  linked : float;    (** same with the link in place, ps *)
+  link_cap : float;  (** capacitance cost of the link wire, fF *)
+}
+
+(** [evaluate tree ~eval ~pair ~sigma ~trials ~seed] — [pair] are two sink
+    ids; their stage launches are jittered by Gaussian [sigma] ps
+    (upstream path variation) over [trials] samples. The link is routed as
+    the direct wire between the sinks, in the technology's widest class.
+    @raise Invalid_argument when the ids are not sinks. *)
+val evaluate :
+  Ctree.Tree.t -> eval:Analysis.Evaluator.t -> pair:int * int ->
+  ?sigma:float -> ?trials:int -> ?seed:int -> unit -> result
+
+(** The sink pairs most likely to benefit: within [radius] nm of each
+    other but whose tree paths diverge early (measured as tree-path
+    distance / geometric distance), best candidates first, at most
+    [limit]. *)
+val candidates :
+  Ctree.Tree.t -> radius:int -> ?limit:int -> unit -> (int * int) list

@@ -1,0 +1,174 @@
+open Geometry
+
+type t = {
+  tech : Tech.t;
+  region : Rect.t;
+  nx : int;
+  ny : int;
+  net : Network.t;
+  grid : int array array;    (* grid.(ix).(iy) = network node id *)
+  xs : int array;            (* grid x coordinates *)
+  ys : int array;
+  sink_watch : int array;    (* network node per sink *)
+  wire_cap : float;
+}
+
+let build ~tech ~region ~nx ~ny ~sinks =
+  if nx < 2 || ny < 2 then invalid_arg "Grid_mesh.build: nx/ny < 2";
+  if Array.length sinks = 0 then invalid_arg "Grid_mesh.build: no sinks";
+  let wire = Tech.wire tech (Tech.widest_wire tech) in
+  let net = Network.create () in
+  let xs =
+    Array.init nx (fun i ->
+        region.Rect.lx + (i * (Rect.width region) / (nx - 1)))
+  in
+  let ys =
+    Array.init ny (fun j ->
+        region.Rect.ly + (j * (Rect.height region) / (ny - 1)))
+  in
+  let wire_cap = ref 0. in
+  let grid =
+    Array.init nx (fun _ -> Array.init ny (fun _ -> Network.add_node net ~cap:0.))
+  in
+  (* Horizontal and vertical mesh segments: R between neighbours, C split
+     onto the endpoints. *)
+  let connect a b len =
+    let r = Tech.Wire.res wire len and c = Tech.Wire.cap wire len in
+    Network.add_res net a b r;
+    Network.add_cap net a (c /. 2.);
+    Network.add_cap net b (c /. 2.);
+    wire_cap := !wire_cap +. c
+  in
+  for i = 0 to nx - 1 do
+    for j = 0 to ny - 1 do
+      if i + 1 < nx then connect grid.(i).(j) grid.(i + 1).(j) (xs.(i + 1) - xs.(i));
+      if j + 1 < ny then connect grid.(i).(j) grid.(i).(j + 1) (ys.(j + 1) - ys.(j))
+    done
+  done;
+  (* Sink stubs to the nearest mesh node. *)
+  let nearest_idx arr v =
+    let best = ref 0 in
+    Array.iteri (fun i x -> if abs (x - v) < abs (arr.(!best) - v) then best := i) arr;
+    !best
+  in
+  let sink_watch =
+    Array.map
+      (fun ((p : Point.t), cap) ->
+        let ix = nearest_idx xs p.x and iy = nearest_idx ys p.y in
+        let mesh_node = grid.(ix).(iy) in
+        let d = abs (xs.(ix) - p.x) + abs (ys.(iy) - p.y) in
+        if d = 0 then begin
+          Network.add_cap net mesh_node cap;
+          mesh_node
+        end
+        else begin
+          let s = Network.add_node net ~cap in
+          connect mesh_node s d;
+          s
+        end)
+      sinks
+  in
+  { tech; region; nx; ny; net; grid; xs; ys; sink_watch; wire_cap = !wire_cap }
+
+let wire_cap t = t.wire_cap
+
+let tap_points t ~k =
+  if k < 1 then invalid_arg "Grid_mesh.tap_points: k < 1";
+  let pick n i =
+    (* i-th of k indices evenly spread over 0..n-1 *)
+    if k = 1 then n / 2 else i * (n - 1) / (k - 1)
+  in
+  Array.init (k * k) (fun idx ->
+      let i = pick t.nx (idx / k) and j = pick t.ny (idx mod k) in
+      Point.make t.xs.(i) t.ys.(j))
+
+type tap = { pos : Point.t; arrival : float; r_drv : float; ramp : float }
+
+type result = {
+  skew : float;
+  t_min : float;
+  t_max : float;
+  worst_slew : float;
+  latencies : float array;
+}
+
+let node_at t (p : Point.t) =
+  let idx arr v =
+    let best = ref 0 in
+    Array.iteri (fun i x -> if abs (x - v) < abs (arr.(!best) - v) then best := i) arr;
+    !best
+  in
+  t.grid.(idx t.xs p.x).(idx t.ys p.y)
+
+let evaluate t ~taps ?step () =
+  if taps = [] then invalid_arg "Grid_mesh.evaluate: no taps";
+  let sources =
+    List.map
+      (fun tap ->
+        { Network.node = node_at t tap.pos; r_drv = tap.r_drv;
+          t0 = tap.arrival; ramp = tap.ramp })
+      taps
+  in
+  let results =
+    Network.transient t.net ~sources ~watch:t.sink_watch ?step ()
+  in
+  let t_min = ref infinity and t_max = ref neg_infinity and ws = ref 0. in
+  let latencies =
+    Array.map
+      (fun (t50, slew) ->
+        if Float.is_finite t50 then begin
+          if t50 < !t_min then t_min := t50;
+          if t50 > !t_max then t_max := t50;
+          if slew > !ws then ws := slew
+        end;
+        t50)
+      results
+  in
+  { skew = !t_max -. !t_min; t_min = !t_min; t_max = !t_max;
+    worst_slew = !ws; latencies }
+
+let hybrid ?(config = Core.Config.default) ~tech ~source ~k t =
+  let taps = tap_points t ~k in
+  (* Each tap sees a share of the mesh as load. The mesh capacitance is
+     distributed behind mesh resistance, not lumped at the pin, so the
+     effective load for tree synthesis is capped well below the raw share
+     — a crude but adequate estimate; the mesh smooths residual error. *)
+  let share = (t.wire_cap /. float_of_int (Array.length taps)) /. 4. in
+  let pseudo_sinks =
+    Array.mapi
+      (fun i p ->
+        { Dme.Zst.pos = p; cap = Float.min share 120.; parity = 0;
+          label = Printf.sprintf "tap%d" i })
+      taps
+  in
+  let flow = Core.Flow.run ~config ~tech ~source pseudo_sinks in
+  let run =
+    Analysis.Evaluator.nominal_run flow.Core.Flow.final Analysis.Evaluator.Rise
+  in
+  let tree = flow.Core.Flow.tree in
+  (* Driver of each tap: its nearest buffer ancestor in the tree. *)
+  let rec driver_of i =
+    let nd = Ctree.Tree.node tree i in
+    if nd.Ctree.Tree.parent < 0 then None
+    else
+      match (Ctree.Tree.node tree nd.Ctree.Tree.parent).Ctree.Tree.kind with
+      | Ctree.Tree.Buffer b -> Some b
+      | _ -> driver_of nd.Ctree.Tree.parent
+  in
+  let tap_list =
+    Array.to_list (Ctree.Tree.sinks tree)
+    |> List.map (fun s ->
+           let nd = Ctree.Tree.node tree s in
+           let r_drv =
+             match driver_of s with
+             | Some b -> Tech.Composite.r_out b
+             | None -> tech.Tech.source_r
+           in
+           {
+             pos = nd.Ctree.Tree.pos;
+             arrival = run.Analysis.Evaluator.latency.(s);
+             r_drv;
+             ramp = Float.max 5. run.Analysis.Evaluator.slew.(s);
+           })
+  in
+  (evaluate t ~taps:tap_list (), flow)

@@ -1,0 +1,58 @@
+(** Clock meshes and tree–mesh hybrids.
+
+    The paper's conclusion notes that Contango trees "can be integrated
+    with meshes, as is common in modern CPU design — better trees allow
+    using smaller meshes". This module provides that integration: a
+    uniform nx × ny wire mesh over the sink region, sinks stubbed to their
+    nearest mesh node, drive points ("taps") on the mesh fed by a Contango
+    tree synthesised for the tap locations. The mesh's resistive loops
+    average out the tree's residual arrival differences at the cost of
+    mesh wire capacitance. *)
+
+open Geometry
+
+type t
+
+(** [build ~tech ~region ~nx ~ny ~sinks] lays an nx × ny mesh of the
+    technology's widest wire over [region] and stubs every sink to its
+    nearest mesh node. @raise Invalid_argument when nx or ny < 2 or
+    [sinks] is empty. *)
+val build :
+  tech:Tech.t -> region:Rect.t -> nx:int -> ny:int ->
+  sinks:(Point.t * float) array -> t
+
+(** Total mesh + stub wire capacitance, fF (the power price of the
+    mesh). *)
+val wire_cap : t -> float
+
+(** [tap_points t ~k] — k × k evenly spread drive points (positions of
+    mesh nodes). *)
+val tap_points : t -> k:int -> Point.t array
+
+type tap = {
+  pos : Point.t;       (** tap position (a mesh node) *)
+  arrival : float;     (** 50 % launch time of the driver output, ps *)
+  r_drv : float;       (** driver Thevenin resistance, Ω *)
+  ramp : float;        (** driver ramp duration, ps *)
+}
+
+type result = {
+  skew : float;        (** max − min sink 50 % arrival, ps *)
+  t_min : float;
+  t_max : float;
+  worst_slew : float;  (** worst 10–90 % slew at any sink, ps *)
+  latencies : float array;  (** per sink, in input order *)
+}
+
+(** Simulate the mesh driven at the given taps (each an independent ramp
+    source through its driver resistance, offset by its tree arrival
+    time). *)
+val evaluate : t -> taps:tap list -> ?step:float -> unit -> result
+
+(** End-to-end hybrid: synthesise a Contango tree over the k × k tap
+    points of this mesh (each tap presents the mesh capacitance share as
+    its load), then evaluate the mesh with the tree's arrivals. Returns
+    the mesh result together with the tree flow result. *)
+val hybrid :
+  ?config:Core.Config.t -> tech:Tech.t -> source:Point.t -> k:int -> t ->
+  result * Core.Flow.result

@@ -1,0 +1,168 @@
+type t = {
+  mutable caps : float array;   (* grounded cap per node, fF *)
+  mutable n : int;
+  mutable edges : (int * int * float) list;  (* (a, b, conductance) *)
+}
+
+let create () = { caps = Array.make 64 0.; n = 0; edges = [] }
+
+let add_node t ~cap =
+  if t.n = Array.length t.caps then begin
+    let bigger = Array.make (2 * t.n) 0. in
+    Array.blit t.caps 0 bigger 0 t.n;
+    t.caps <- bigger
+  end;
+  let id = t.n in
+  t.caps.(id) <- cap;
+  t.n <- t.n + 1;
+  id
+
+let check_node t i name =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Network.%s: invalid node %d" name i)
+
+let add_cap t i c =
+  check_node t i "add_cap";
+  t.caps.(i) <- t.caps.(i) +. c
+
+let add_res t a b r =
+  check_node t a "add_res";
+  check_node t b "add_res";
+  if r <= 0. then invalid_arg "Network.add_res: nonpositive resistance";
+  if a <> b then t.edges <- (a, b, 1. /. r) :: t.edges
+
+let node_count t = t.n
+
+type source = { node : int; r_drv : float; t0 : float; ramp : float }
+
+(* CSR-ish adjacency for the conductance Laplacian. *)
+type matrix = {
+  diag : float array;           (* C/h + sum of incident conductances *)
+  off_idx : int array array;    (* neighbours per node *)
+  off_g : float array array;    (* conductance per neighbour *)
+}
+
+let build_matrix t ~sources ~h =
+  let n = t.n in
+  let diag = Array.make n 0. in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, g) ->
+      diag.(a) <- diag.(a) +. g;
+      diag.(b) <- diag.(b) +. g;
+      adj.(a) <- (b, g) :: adj.(a);
+      adj.(b) <- (a, g) :: adj.(b))
+    t.edges;
+  List.iter
+    (fun s ->
+      check_node t s.node "transient";
+      diag.(s.node) <- diag.(s.node) +. (1. /. s.r_drv))
+    sources;
+  for i = 0 to n - 1 do
+    diag.(i) <- diag.(i) +. (t.caps.(i) *. Tech.Units.rc_to_ps /. h)
+  done;
+  {
+    diag;
+    off_idx = Array.map (fun l -> Array.of_list (List.map fst l)) adj;
+    off_g = Array.map (fun l -> Array.of_list (List.map snd l)) adj;
+  }
+
+(* y := (diag - offdiag) x  — the SPD system matrix applied to x. *)
+let apply m x y =
+  let n = Array.length m.diag in
+  for i = 0 to n - 1 do
+    let acc = ref (m.diag.(i) *. x.(i)) in
+    let idx = m.off_idx.(i) and g = m.off_g.(i) in
+    for k = 0 to Array.length idx - 1 do
+      acc := !acc -. (g.(k) *. x.(idx.(k)))
+    done;
+    y.(i) <- !acc
+  done
+
+(* Jacobi-preconditioned CG, warm-started from [x]. *)
+let cg m ~b ~x ~max_iter ~tol =
+  let n = Array.length b in
+  let r = Array.make n 0. and z = Array.make n 0. in
+  let p = Array.make n 0. and ap = Array.make n 0. in
+  apply m x r;
+  for i = 0 to n - 1 do
+    r.(i) <- b.(i) -. r.(i);
+    z.(i) <- r.(i) /. m.diag.(i);
+    p.(i) <- z.(i)
+  done;
+  let dot a c =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. (a.(i) *. c.(i))
+    done;
+    !acc
+  in
+  let rz = ref (dot r z) in
+  let b_norm = Float.max 1e-30 (dot b b) in
+  let iter = ref 0 in
+  while !iter < max_iter && dot r r > tol *. tol *. b_norm do
+    incr iter;
+    apply m p ap;
+    let alpha = !rz /. Float.max 1e-300 (dot p ap) in
+    for i = 0 to n - 1 do
+      x.(i) <- x.(i) +. (alpha *. p.(i));
+      r.(i) <- r.(i) -. (alpha *. ap.(i))
+    done;
+    for i = 0 to n - 1 do
+      z.(i) <- r.(i) /. m.diag.(i)
+    done;
+    let rz' = dot r z in
+    let beta = rz' /. Float.max 1e-300 !rz in
+    rz := rz';
+    for i = 0 to n - 1 do
+      p.(i) <- z.(i) +. (beta *. p.(i))
+    done
+  done
+
+let ramp_v s t =
+  if t <= s.t0 then 0.
+  else if t >= s.t0 +. s.ramp then 1.
+  else (t -. s.t0) /. s.ramp
+
+let transient t ~sources ~watch ?(step = 1.0) ?(t_stop = 5000.) () =
+  if sources = [] then invalid_arg "Network.transient: no sources";
+  let n = t.n in
+  let m = build_matrix t ~sources ~h:step in
+  let v = Array.make n 0. and b = Array.make n 0. in
+  let c_over_h = Array.map (fun c -> c *. Tech.Units.rc_to_ps /. step) t.caps in
+  let nwatch = Array.length watch in
+  let crossed = Array.make (nwatch * 3) nan in
+  let prev = Array.make nwatch 0. in
+  let remaining = ref (nwatch * 3) in
+  let thresholds = [| 0.1; 0.5; 0.9 |] in
+  let time = ref 0. in
+  while !remaining > 0 && !time < t_stop do
+    let t1 = !time +. step in
+    for i = 0 to n - 1 do
+      b.(i) <- c_over_h.(i) *. v.(i)
+    done;
+    List.iter
+      (fun s -> b.(s.node) <- b.(s.node) +. (ramp_v s t1 /. s.r_drv))
+      sources;
+    cg m ~b ~x:v ~max_iter:200 ~tol:1e-8;
+    for w = 0 to nwatch - 1 do
+      let vw = v.(watch.(w)) in
+      for k = 0 to 2 do
+        if Float.is_nan crossed.((w * 3) + k) && vw >= thresholds.(k) then begin
+          let frac =
+            if vw -. prev.(w) <= 0. then 1.
+            else (thresholds.(k) -. prev.(w)) /. (vw -. prev.(w))
+          in
+          crossed.((w * 3) + k) <- !time +. (frac *. step);
+          decr remaining
+        end
+      done;
+      prev.(w) <- vw
+    done;
+    time := t1
+  done;
+  Array.init nwatch (fun w ->
+      let t10 = crossed.(w * 3) and t50 = crossed.((w * 3) + 1)
+      and t90 = crossed.((w * 3) + 2) in
+      if Float.is_nan t90 || Float.is_nan t10 then (infinity, infinity)
+      else (t50, t90 -. t10))

@@ -1,0 +1,38 @@
+(** General (non-tree) RC networks with transient simulation.
+
+    Clock meshes contain resistive loops, so the tree-structured O(n)
+    solver of {!Analysis.Transient} does not apply. This module simulates
+    arbitrary RC networks by backward Euler with a Jacobi-preconditioned
+    conjugate-gradient solve per step (the system matrix [C/h + G] is
+    symmetric positive definite); the previous step's solution warm-starts
+    the iteration, so a handful of CG iterations per step suffice.
+
+    Units as everywhere: Ω, fF, ps. *)
+
+type t
+
+val create : unit -> t
+
+(** Add a node with a grounded capacitance (fF); returns its id. *)
+val add_node : t -> cap:float -> int
+
+(** Increase a node's grounded capacitance. *)
+val add_cap : t -> int -> float -> unit
+
+(** Resistor between two nodes (Ω > 0). *)
+val add_res : t -> int -> int -> float -> unit
+
+val node_count : t -> int
+
+(** A Thevenin driver: a saturated 0→1 ramp of duration [ramp] ps
+    beginning at time [t0], connected to [node] through [r_drv] Ω. *)
+type source = { node : int; r_drv : float; t0 : float; ramp : float }
+
+(** [transient t ~sources ~watch ()] simulates until every watched node
+    crossed 90 % (or [t_stop], default 5000 ps) and returns, per watched
+    node, the absolute 50 % crossing time and the 10–90 % slew, ps.
+    Uncrossed nodes report [infinity]. [step] defaults to 1 ps.
+    @raise Invalid_argument when [sources] is empty. *)
+val transient :
+  t -> sources:source list -> watch:int array -> ?step:float ->
+  ?t_stop:float -> unit -> (float * float) array

@@ -1,0 +1,170 @@
+open Geometry
+module Tree = Ctree.Tree
+
+type result = {
+  attachments : int;
+  cut : int * int;
+  chain_wirelength : int;
+}
+
+let subtree_cap tree id =
+  let acc = ref 0. in
+  let rec visit i =
+    let nd = Tree.node tree i in
+    if nd.Tree.parent >= 0 then acc := !acc +. Tree.wire_cap tree nd;
+    (match nd.Tree.kind with
+    | Tree.Sink s -> acc := !acc +. s.Tree.cap
+    | Tree.Buffer b -> acc := !acc +. Tech.Composite.c_in b
+    | Tree.Source | Tree.Internal -> ());
+    List.iter visit nd.Tree.children
+  in
+  visit id;
+  !acc
+
+let enclosed_roots tree compound =
+  let roots = ref [] in
+  Tree.iter tree (fun nd ->
+      if nd.Tree.parent >= 0 && Obstacle.inside compound nd.Tree.pos then begin
+        let parent_inside =
+          Obstacle.inside compound (Tree.node tree nd.Tree.parent).Tree.pos
+        in
+        if not parent_inside then roots := nd.Tree.id :: !roots
+      end);
+  List.rev !roots
+
+(* Exit points: descend from [root]; stop at the first node that is not
+   strictly inside, or at a sink (sinks inside the obstacle must still be
+   reached and act as attachments themselves). *)
+let exits tree compound root =
+  let out = ref [] in
+  let rec visit i =
+    let nd = Tree.node tree i in
+    let is_sink = match nd.Tree.kind with Tree.Sink _ -> true | _ -> false in
+    if (not (Obstacle.inside compound nd.Tree.pos)) || is_sink then
+      out := i :: !out
+    else List.iter visit nd.Tree.children
+  in
+  let root_nd = Tree.node tree root in
+  List.iter visit root_nd.Tree.children;
+  List.rev !out
+
+let apply tree compound ~root =
+  let contour = compound.Obstacle.contour in
+  let root_nd = Tree.node tree root in
+  let parent = root_nd.Tree.parent in
+  if parent < 0 then invalid_arg "Detour.apply: root of tree is enclosed";
+  let parent_pos = (Tree.node tree parent).Tree.pos in
+  let s_src, src_point = Contour.project contour parent_pos in
+  let exit_ids = exits tree compound root in
+  let exit_params =
+    List.map
+      (fun v ->
+        let s, _ = Contour.project contour (Tree.node tree v).Tree.pos in
+        (v, s))
+      exit_ids
+  in
+  (* Choose the cut arc: among arcs between cyclically consecutive
+     parameters (attachments ∪ source), remove the one minimising the
+     longest source-to-attachment walk that avoids the cut. *)
+  let params =
+    List.sort_uniq Int.compare (s_src :: List.map snd exit_params)
+  in
+  let arr = Array.of_list params in
+  let k = Array.length arr in
+  (* Removing the forward-open arc (cut_lo → cut_hi) leaves a path; a
+     parameter is then reached from s_src by the direction that does not
+     enter the arc. The two predicates below partition all non-source
+     parameters (the cut arc contains no attachments by construction). *)
+  let forward_side ~cut_lo s =
+    cut_lo <> s_src
+    && s <> s_src
+    && Contour.dist_forward contour s_src s
+       <= Contour.dist_forward contour s_src cut_lo
+  in
+  let backward_side ~cut_hi s =
+    cut_hi <> s_src
+    && s <> s_src
+    && Contour.dist_forward contour s s_src
+       <= Contour.dist_forward contour cut_hi s_src
+  in
+  let reach_cost ~cut_lo ~cut_hi s =
+    if s = s_src then 0
+    else if forward_side ~cut_lo s then Contour.dist_forward contour s_src s
+    else if backward_side ~cut_hi s then Contour.dist_forward contour s s_src
+    else max_int
+  in
+  let best_cut = ref (s_src, s_src) and best_cost = ref max_int in
+  for i = 0 to k - 1 do
+    let cut_lo = arr.(i) and cut_hi = arr.((i + 1) mod k) in
+    let cost =
+      List.fold_left
+        (fun acc (_, s) -> max acc (reach_cost ~cut_lo ~cut_hi s))
+        0 exit_params
+    in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best_cut := (cut_lo, cut_hi)
+    end
+  done;
+  let cut_lo, cut_hi = !best_cut in
+  (* Detach the enclosed structure and the exit subtrees. *)
+  List.iter (fun v -> Tree.detach tree v) exit_ids;
+  Tree.detach tree root;
+  (* Anchor node on the contour, fed from the outside parent. *)
+  let anchor =
+    Tree.add_node tree ~kind:Tree.Internal ~pos:src_point ~parent
+      ~wire_class:root_nd.Tree.wire_class ()
+  in
+  (* Build the two chains (forward and backward from the source anchor),
+     creating one node per distinct attachment parameter, connected along
+     the contour. *)
+  let chain_wl = ref 0 in
+  let side_params dir =
+    let dist s =
+      match dir with
+      | `Forward -> Contour.dist_forward contour s_src s
+      | `Backward -> Contour.dist_forward contour s s_src
+    in
+    let on_side s =
+      match dir with
+      | `Forward -> forward_side ~cut_lo s
+      | `Backward -> backward_side ~cut_hi s
+    in
+    List.filter on_side params
+    |> List.sort (fun a b -> Int.compare (dist a) (dist b))
+  in
+  let build_side dir =
+    let prev_id = ref anchor and prev_param = ref s_src in
+    List.iter
+      (fun s ->
+        let pos = Contour.point_at contour s in
+        let id =
+          Tree.add_node tree ~kind:Tree.Internal ~pos ~parent:!prev_id
+            ~wire_class:root_nd.Tree.wire_class ()
+        in
+        let path =
+          match dir with
+          | `Forward -> Contour.path_between contour `Forward !prev_param s
+          | `Backward -> Contour.path_between contour `Backward !prev_param s
+        in
+        if List.length path >= 2 then Tree.set_route tree id path;
+        chain_wl := !chain_wl + (Tree.node tree id).Tree.geom_len;
+        (* Hang every exit that projects to this parameter. *)
+        List.iter
+          (fun (v, sv) -> if sv = s then Tree.reparent tree v ~new_parent:id)
+          exit_params;
+        prev_id := id;
+        prev_param := s)
+      (side_params dir)
+  in
+  build_side `Forward;
+  build_side `Backward;
+  (* Exits projecting exactly onto the source anchor. *)
+  List.iter
+    (fun (v, sv) -> if sv = s_src then Tree.reparent tree v ~new_parent:anchor)
+    exit_params;
+  {
+    attachments = List.length exit_params;
+    cut = (cut_lo, cut_hi);
+    chain_wirelength = !chain_wl;
+  }

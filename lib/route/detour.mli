@@ -1,0 +1,32 @@
+(** Contour detours for subtrees enclosed by obstacles (paper §IV-A steps
+    2–3, Fig. 2).
+
+    When a subtree crossing an obstacle is too capacitive for a single
+    buffer placed before the obstacle, its enclosed Steiner structure is
+    replaced by wiring along the obstacle contour: every point where the
+    subtree leaves the obstacle becomes an attachment on the contour, the
+    whole contour is taken as the detour, and one contour arc between
+    adjacent attachments is removed to keep the network a tree — the arc
+    chosen so that the longest detoured source-to-attachment path is
+    minimal (equivalently, the arc "furthest from the source along the
+    contour"). *)
+
+type result = {
+  attachments : int;        (** exit points re-attached along the contour *)
+  cut : int * int;          (** contour parameters of the removed arc *)
+  chain_wirelength : int;   (** wirelength of the contour chain, nm *)
+}
+
+(** Total capacitance hanging off the feed wire of the subtree rooted at
+    [id]: its parent wire, all subtree wires (electrical length), buffer
+    input pins and sink loads. fF. *)
+val subtree_cap : Ctree.Tree.t -> int -> float
+
+(** Maximal nodes strictly inside the compound (nodes inside whose parent
+    is not inside). *)
+val enclosed_roots : Ctree.Tree.t -> Obstacle.t -> int list
+
+(** Reroute the enclosed subtree rooted at [root] along the compound's
+    contour. Interior Steiner nodes become unreachable; call
+    {!Ctree.Tree.compact} afterwards. *)
+val apply : Ctree.Tree.t -> Obstacle.t -> root:int -> result

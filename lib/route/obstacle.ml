@@ -1,0 +1,40 @@
+open Geometry
+
+type t = { rects : Rect.t list; contour : Contour.t; bbox : Rect.t }
+
+let compounds rect_list =
+  List.map
+    (fun group ->
+      { rects = group; contour = Contour.of_rects group;
+        bbox = Rect.bounding_box group })
+    (Rect.compound_groups rect_list)
+
+(* Interior of the union: covered, and all four axis neighbours covered too
+   (a union-boundary point has an uncovered neighbour). *)
+let inside t p =
+  let covered q = List.exists (fun r -> Rect.contains r q) t.rects in
+  Rect.contains_open t.bbox p && covered p
+  && covered (Point.make p.Point.x (p.Point.y + 1))
+  && covered (Point.make p.Point.x (p.Point.y - 1))
+  && covered (Point.make (p.Point.x + 1) p.Point.y)
+  && covered (Point.make (p.Point.x - 1) p.Point.y)
+
+let covers t p =
+  Rect.contains t.bbox p && List.exists (fun r -> Rect.contains r p) t.rects
+
+let polyline_overlap t pts =
+  let rec go acc = function
+    | a :: b :: rest ->
+      let seg_overlap =
+        if Point.is_aligned a b then
+          let s = Segment.make a b in
+          List.fold_left (fun acc r -> acc + Segment.overlap_with_rect s r) 0 t.rects
+        else
+          (* Non-axis-aligned (diagonal-drawn L): measure both legs of the
+             default XY embedding. *)
+          Segment.L.overlap Segment.L.XY a b t.rects
+      in
+      go (acc + seg_overlap) (b :: rest)
+    | _ -> acc
+  in
+  go 0 pts

@@ -1,0 +1,24 @@
+(** Compound obstacles: abutting or overlapping blockage rectangles merged
+    into single regions (a buffer cannot be placed between two abutting
+    blocks, so they act as one obstacle — paper §IV-A). *)
+
+open Geometry
+
+type t = {
+  rects : Rect.t list;
+  contour : Contour.t;
+  bbox : Rect.t;
+}
+
+(** Group raw blockage rectangles into compound obstacles. *)
+val compounds : Rect.t list -> t list
+
+(** Is the point strictly inside the compound (interior, boundary
+    excluded)? *)
+val inside : t -> Point.t -> bool
+
+(** Is the point inside or on the boundary? *)
+val covers : t -> Point.t -> bool
+
+(** Open-overlap length of a polyline with the compound's interior, nm. *)
+val polyline_overlap : t -> Point.t list -> int

@@ -1,0 +1,116 @@
+open Geometry
+module Tree = Ctree.Tree
+
+type report = {
+  bend_flips : int;
+  detours : int;
+  drivable_skips : int;
+  reroutes : int;
+  remaining_overlap : int;
+}
+
+(* Overlap of a node's parent wire with obstacle interiors, nm. *)
+let wire_overlap tree compounds id =
+  let nd = Tree.node tree id in
+  if nd.Tree.parent < 0 then 0
+  else begin
+    let pts =
+      match nd.Tree.route with
+      | [] ->
+        let p = (Tree.node tree nd.Tree.parent).Tree.pos in
+        let b = Segment.L.bend nd.Tree.bend p nd.Tree.pos in
+        if Point.equal b p || Point.equal b nd.Tree.pos then [ p; nd.Tree.pos ]
+        else [ p; b; nd.Tree.pos ]
+      | route -> route
+    in
+    List.fold_left
+      (fun acc c -> acc + Obstacle.polyline_overlap c pts)
+      0 compounds
+  end
+
+let total_overlap tree compounds =
+  let acc = ref 0 in
+  Tree.iter tree (fun nd ->
+      if nd.Tree.parent >= 0 then
+        acc := !acc + wire_overlap tree compounds nd.Tree.id);
+  !acc
+
+let flip_bends tree rects =
+  let flips = ref 0 in
+  Tree.iter tree (fun nd ->
+      if nd.Tree.parent >= 0 && nd.Tree.route = [] then begin
+        let p = (Tree.node tree nd.Tree.parent).Tree.pos in
+        if not (Point.is_aligned p nd.Tree.pos) then begin
+          let best, _ = Segment.L.best p nd.Tree.pos rects in
+          if best <> nd.Tree.bend then begin
+            let before = Segment.L.overlap nd.Tree.bend p nd.Tree.pos rects in
+            let after = Segment.L.overlap best p nd.Tree.pos rects in
+            if after < before then begin
+              nd.Tree.bend <- best;
+              incr flips
+            end
+          end
+        end
+      end);
+  !flips
+
+let run tree ~obstacles ~drivable_cap =
+  let tree = Tree.copy tree in
+  let compounds = Obstacle.compounds obstacles in
+  let bend_flips = flip_bends tree obstacles in
+  (* Detour enclosed subtrees that one buffer cannot drive. *)
+  let detours = ref 0 and skips = ref 0 in
+  List.iter
+    (fun compound ->
+      List.iter
+        (fun root ->
+          if Detour.subtree_cap tree root > drivable_cap then begin
+            ignore (Detour.apply tree compound ~root);
+            incr detours
+          end
+          else incr skips)
+        (Detour.enclosed_roots tree compound))
+    compounds;
+  let tree, _remap = Tree.compact tree in
+  (* Maze-reroute remaining heavy crossing wires. *)
+  let reroutes = ref 0 in
+  let order = Tree.topo_order tree in
+  Array.iter
+    (fun id ->
+      let nd = Tree.node tree id in
+      if nd.Tree.parent >= 0
+         && wire_overlap tree compounds id > 0
+         && Detour.subtree_cap tree id > drivable_cap
+      then begin
+        let p = (Tree.node tree nd.Tree.parent).Tree.pos in
+        match Grid.route ~obstacles ~src:p ~dst:nd.Tree.pos with
+        | Some path when List.length path >= 2 ->
+          Tree.set_route tree id path;
+          incr reroutes
+        | Some _ | None -> ()
+      end)
+    order;
+  let report =
+    {
+      bend_flips;
+      detours = !detours;
+      drivable_skips = !skips;
+      reroutes = !reroutes;
+      remaining_overlap = total_overlap tree compounds;
+    }
+  in
+  (tree, report)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "bend flips=%d detours=%d drivable skips=%d reroutes=%d remaining \
+     overlap=%.3fmm"
+    r.bend_flips r.detours r.drivable_skips r.reroutes
+    (float_of_int r.remaining_overlap /. 1.e6)
+
+let illegal_buffers tree ~obstacles =
+  let compounds = Obstacle.compounds obstacles in
+  Array.to_list (Tree.buffer_ids tree)
+  |> List.filter (fun id ->
+         let pos = (Tree.node tree id).Tree.pos in
+         List.exists (fun c -> Obstacle.inside c pos) compounds)

@@ -1,0 +1,36 @@
+(** Obstacle-violation repair for clock trees (paper §IV-A step 1 plus the
+    orchestration of steps 2–3).
+
+    In order:
+    + choose the L-shape configuration of every bent wire that minimises
+      overlap with blockages;
+    + detour every enclosed subtree whose capacitance exceeds the
+      slew-free capacitance along its compound's contour ({!Detour});
+    + compact the tree (drops the replaced interior Steiner nodes);
+    + maze-reroute point-to-point wires that still cross an obstacle and
+      whose downstream capacitance a single pre-obstacle buffer could not
+      drive. Crossing wires under the capacitance bound are left in place
+      — a buffer inserted immediately before the obstacle will drive them
+      (the ISPD'09 rules allow wires, but not buffers, over blockages). *)
+
+type report = {
+  bend_flips : int;
+  detours : int;
+  drivable_skips : int;   (** enclosed subtrees left because one buffer can drive them *)
+  reroutes : int;
+  remaining_overlap : int;  (** wirelength still over obstacle interiors, nm *)
+}
+
+(** [run tree ~obstacles ~drivable_cap] returns the repaired (compacted)
+    tree and a report. [drivable_cap] is the slew-free capacitance bound
+    (see {!Slewcap}). The input tree is not modified. *)
+val run :
+  Ctree.Tree.t -> obstacles:Geometry.Rect.t list -> drivable_cap:float ->
+  Ctree.Tree.t * report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Buffers located strictly inside an obstacle — must be empty for a
+    legal tree. *)
+val illegal_buffers :
+  Ctree.Tree.t -> obstacles:Geometry.Rect.t list -> int list

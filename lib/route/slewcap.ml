@@ -1,0 +1,73 @@
+module Rcnet = Analysis.Rcnet
+
+let slow_r_scale tech =
+  List.fold_left
+    (fun acc (c : Tech.Corner.t) -> Float.max acc c.Tech.Corner.r_scale)
+    1. tech.Tech.corners
+
+let lumped ~tech ~buf ?(margin = 0.8) () =
+  let r =
+    Float.max (Tech.Composite.r_up buf) (Tech.Composite.r_down buf)
+    *. slow_r_scale tech
+  in
+  let c_max = tech.Tech.slew_limit /. (Tech.Units.ln9 *. r *. Tech.Units.rc_to_ps) in
+  margin *. (c_max -. Tech.Composite.c_out buf)
+
+let wire_aware ~tech ~buf ?(margin = 0.8) () =
+  let r_drv =
+    Float.max (Tech.Composite.r_up buf) (Tech.Composite.r_down buf)
+    *. slow_r_scale tech
+  in
+  let wire = Tech.wire tech (Tech.widest_wire tech) in
+  let rho = wire.Tech.Wire.res_per_nm /. wire.Tech.Wire.cap_per_nm in
+  (* ln9·k·(r_drv·C + ρ·C²/2) = margin·limit, positive root. *)
+  let kk = Tech.Units.ln9 *. Tech.Units.rc_to_ps in
+  let a = kk *. rho /. 2. and b = kk *. r_drv in
+  let c = -.(margin *. tech.Tech.slew_limit) in
+  let disc = (b *. b) -. (4. *. a *. c) in
+  (* The driver's own output parasitic sits at the near end, fully
+     shielded from the far-end slew — it does not reduce this bound. *)
+  ((-.b) +. sqrt disc) /. (2. *. a)
+
+(* One stage: buffer driving [wire_len] nm of the widest wire into a lumped
+   load; bisect the largest load keeping the tap slew within limit. *)
+let simulated ~tech ~buf ?(wire_len = 200_000) () =
+  let wire = Tech.wire tech (Tech.widest_wire tech) in
+  let r_drv =
+    Float.max (Tech.Composite.r_up buf) (Tech.Composite.r_down buf)
+    *. slow_r_scale tech
+  in
+  let slew_of load =
+    let nseg = 8 in
+    let size = nseg + 2 in
+    let parent = Array.init size (fun i -> i - 1) in
+    let seg_r = Tech.Wire.res wire wire_len /. float_of_int nseg in
+    let seg_c = Tech.Wire.cap wire wire_len /. float_of_int nseg in
+    let res =
+      Array.init size (fun i ->
+          if i = 0 then 0. else if i <= nseg then seg_r else 1e-3)
+    in
+    let cap =
+      Array.init size (fun i ->
+          if i = 0 then Tech.Composite.c_out buf
+          else if i <= nseg then seg_c
+          else load)
+    in
+    let rc =
+      { Rcnet.parent; res; cap; taps = [| (size - 1, Rcnet.Tap_sink 0) |]; size }
+    in
+    let results = Analysis.Transient.solve rc ~r_drv ~s_drv:tech.Tech.source_slew in
+    snd results.(0)
+  in
+  let lo = ref 0. and hi = ref (Float.max 1. (2. *. lumped ~tech ~buf ~margin:1.5 ())) in
+  (* Ensure hi really violates. *)
+  let guard = ref 0 in
+  while slew_of !hi <= tech.Tech.slew_limit && !guard < 12 do
+    hi := !hi *. 2.;
+    incr guard
+  done;
+  for _ = 1 to 24 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if slew_of mid <= tech.Tech.slew_limit then lo := mid else hi := mid
+  done;
+  !lo

@@ -1,0 +1,24 @@
+(** Slew-free capacitance (paper §IV-A step 2): the largest load one
+    composite buffer can drive without risking a slew violation. Used to
+    decide whether a subtree crossing an obstacle needs a detour — no
+    buffer may be placed over the obstacle, so the whole enclosed subtree
+    hangs off one driver. *)
+
+(** Closed-form bound: a lumped load C driven through the buffer's worst
+    output resistance (slow corner) shows a 10–90 % slew of about
+    [ln 9 · R · C]; the bound is the C for which that reaches the slew
+    limit, shrunk by [margin] (default 0.8) to absorb the lumped-model
+    optimism. *)
+val lumped : tech:Tech.t -> buf:Tech.Composite.t -> ?margin:float -> unit -> float
+
+(** Wire-aware bound: assumes the stage capacitance is wire of the widest
+    class, whose own resistance degrades the far-end slew quadratically —
+    [ln9·(R_drv·C + (r/c)·C²/2)] reaches the (margin-scaled) limit.
+    Much tighter than {!lumped} for long stages; this is the bound
+    insertion should seed its ceiling with. *)
+val wire_aware : tech:Tech.t -> buf:Tech.Composite.t -> ?margin:float -> unit -> float
+
+(** Simulation-refined bound: binary search over the load of a single
+    lumped-RC stage evaluated with the transient engine at the slow
+    corner. Tighter than {!lumped}; costs a handful of simulations. *)
+val simulated : tech:Tech.t -> buf:Tech.Composite.t -> ?wire_len:int -> unit -> float

@@ -1,0 +1,168 @@
+open Geometry
+
+type t = {
+  name : string;
+  chip : Rect.t;
+  source : Point.t;
+  sinks : Dme.Zst.sink_spec array;
+  obstacles : Rect.t list;
+  tech : Tech.t;
+}
+
+let to_string b =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "# benchmark %s\n" b.name;
+  pf "chip %d %d %d %d\n" b.chip.Rect.lx b.chip.Rect.ly b.chip.Rect.hx b.chip.Rect.hy;
+  pf "source %d %d\n" b.source.Point.x b.source.Point.y;
+  pf "slewlimit %g\n" b.tech.Tech.slew_limit;
+  if b.tech.Tech.cap_limit < infinity then pf "caplimit %g\n" b.tech.Tech.cap_limit;
+  Array.iter
+    (fun (w : Tech.Wire.t) ->
+      pf "wire %s %g %g\n" w.Tech.Wire.name
+        (w.Tech.Wire.res_per_nm *. 1000.)
+        (w.Tech.Wire.cap_per_nm *. 1000.))
+    b.tech.Tech.wires;
+  List.iter
+    (fun (d : Tech.Device.t) ->
+      pf "inverter %s %g %g %g %g\n" d.Tech.Device.name d.Tech.Device.c_in
+        d.Tech.Device.c_out (Tech.Device.r_out d) d.Tech.Device.d_intrinsic)
+    b.tech.Tech.devices;
+  Array.iter
+    (fun (s : Dme.Zst.sink_spec) ->
+      pf "sink %s %d %d %.9g %d\n" s.Dme.Zst.label s.Dme.Zst.pos.Point.x
+        s.Dme.Zst.pos.Point.y s.Dme.Zst.cap s.Dme.Zst.parity)
+    b.sinks;
+  List.iter
+    (fun (r : Rect.t) ->
+      pf "obstacle %d %d %d %d\n" r.Rect.lx r.Rect.ly r.Rect.hx r.Rect.hy)
+    b.obstacles;
+  Buffer.contents buf
+
+type partial = {
+  mutable chip_p : Rect.t option;
+  mutable source_p : Point.t option;
+  mutable slew_p : float option;
+  mutable cap_p : float option;
+  mutable wires_p : Tech.Wire.t list;    (* reversed *)
+  mutable devices_p : Tech.Device.t list;  (* reversed *)
+  mutable sinks_p : Dme.Zst.sink_spec list;  (* reversed *)
+  mutable obstacles_p : Rect.t list;  (* reversed *)
+}
+
+let of_string ~name text =
+  let p =
+    { chip_p = None; source_p = None; slew_p = None; cap_p = None;
+      wires_p = []; devices_p = []; sinks_p = []; obstacles_p = [] }
+  in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let tokens =
+        String.split_on_char ' ' (String.trim line)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      in
+      let num s =
+        match float_of_string_opt s with
+        | Some f -> f
+        | None ->
+          fail lineno (Printf.sprintf "not a number: %S" s);
+          0.
+      in
+      let inum s = int_of_float (num s) in
+      match tokens with
+      | [] -> ()
+      | [ "chip"; a; b; c; d ] ->
+        p.chip_p <- Some (Rect.make ~lx:(inum a) ~ly:(inum b) ~hx:(inum c) ~hy:(inum d))
+      | [ "source"; x; y ] -> p.source_p <- Some (Point.make (inum x) (inum y))
+      | [ "slewlimit"; s ] -> p.slew_p <- Some (num s)
+      | [ "caplimit"; s ] -> p.cap_p <- Some (num s)
+      | [ "wire"; wname; r; c ] ->
+        p.wires_p <-
+          Tech.Wire.make ~name:wname ~res_per_nm:(num r /. 1000.)
+            ~cap_per_nm:(num c /. 1000.)
+          :: p.wires_p
+      | [ "inverter"; dname; cin; cout; rout; dint ] ->
+        let r = num rout in
+        p.devices_p <-
+          Tech.Device.make ~name:dname ~c_in:(num cin) ~c_out:(num cout)
+            ~r_up:(r *. 1.05) ~r_down:(r *. 0.95) ~d_intrinsic:(num dint)
+            ~inverting:true ()
+          :: p.devices_p
+      | "sink" :: sname :: x :: y :: cap :: rest ->
+        let parity = match rest with [ pa ] -> inum pa | _ -> 0 in
+        p.sinks_p <-
+          { Dme.Zst.label = sname; pos = Point.make (inum x) (inum y);
+            cap = num cap; parity }
+          :: p.sinks_p
+      | [ "obstacle"; a; b; c; d ] ->
+        p.obstacles_p <-
+          Rect.make ~lx:(inum a) ~ly:(inum b) ~hx:(inum c) ~hy:(inum d)
+          :: p.obstacles_p
+      | directive :: _ -> fail lineno ("unknown directive " ^ directive))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    (match (p.chip_p, p.source_p) with
+    | None, _ -> Error "missing chip directive"
+    | _, None -> Error "missing source directive"
+    | Some chip, Some source ->
+      if p.sinks_p = [] then Error "no sinks"
+      else begin
+        let default = Tech.default45 () in
+        let wires =
+          match List.rev p.wires_p with
+          | [] -> default.Tech.wires
+          | ws -> Array.of_list ws
+        in
+        let devices =
+          match List.rev p.devices_p with
+          | [] -> default.Tech.devices
+          | ds -> ds
+        in
+        let tech =
+          Tech.make ~name ~wires ~devices
+            ~slew_limit:(Option.value p.slew_p ~default:default.Tech.slew_limit)
+            ~cap_limit:(Option.value p.cap_p ~default:infinity)
+            ()
+        in
+        Ok
+          {
+            name;
+            chip;
+            source;
+            sinks = Array.of_list (List.rev p.sinks_p);
+            obstacles = List.rev p.obstacles_p;
+            tech;
+          }
+      end)
+
+let write_file path b =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string b))
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let name = Filename.remove_extension (Filename.basename path) in
+  match of_string ~name text with
+  | Ok b -> b
+  | Error e -> failwith (Printf.sprintf "%s: %s" path e)

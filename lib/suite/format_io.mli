@@ -1,0 +1,33 @@
+(** Text format for clock-network synthesis benchmarks, in the spirit of
+    the ISPD'09 contest files.
+
+    Grammar (one directive per line, [#] comments, blank lines ignored):
+    {v
+    chip <lx> <ly> <hx> <hy>          # die, nm
+    source <x> <y>                    # clock source pin, nm
+    slewlimit <ps>
+    caplimit <fF>                     # omit for unlimited
+    wire <name> <res ohm/um> <cap fF/um>     # narrow..wide order
+    inverter <name> <cin fF> <cout fF> <rout ohm> <dint ps>
+    sink <name> <x> <y> <cap fF> [parity]
+    obstacle <lx> <ly> <hx> <hy>
+    v}
+    [wire]/[inverter] lines are optional; the 45 nm contest technology is
+    used when absent. *)
+
+type t = {
+  name : string;
+  chip : Geometry.Rect.t;
+  source : Geometry.Point.t;
+  sinks : Dme.Zst.sink_spec array;
+  obstacles : Geometry.Rect.t list;
+  tech : Tech.t;
+}
+
+val to_string : t -> string
+val of_string : name:string -> string -> (t, string) result
+
+val write_file : string -> t -> unit
+
+(** @raise Failure on parse errors, with the offending line number. *)
+val read_file : string -> t

@@ -1,0 +1,20 @@
+open Geometry
+
+let generate ~n ?(pitch = 500_000) () =
+  if n < 1 then invalid_arg "Gen_grid.generate: n < 1";
+  let sinks =
+    Array.init (n * n) (fun idx ->
+        let i = idx / n and j = idx mod n in
+        { Dme.Zst.label = Printf.sprintf "g%d_%d" i j;
+          pos = Point.make ((i + 1) * pitch) ((j + 1) * pitch);
+          cap = 10.; parity = 0 })
+  in
+  let span = (n + 1) * pitch in
+  {
+    Format_io.name = Printf.sprintf "grid%dx%d" n n;
+    chip = Rect.make ~lx:0 ~ly:0 ~hx:span ~hy:span;
+    source = Point.make 0 (span / 2);
+    sinks;
+    obstacles = [];
+    tech = Tech.default45 ();
+  }

@@ -1,0 +1,12 @@
+(** Regular-grid benchmark family: n × n sinks on a uniform grid with
+    identical loads.
+
+    Perfect symmetry is the classic CTS sanity case (an H-tree is optimal)
+    and a stress case for tie-breaking: every merge is equidistant, so any
+    asymmetry in topology generation, merging or embedding shows up
+    directly as skew. *)
+
+(** [generate ~n ~pitch] — n² sinks spaced [pitch] nm apart (default
+    500 µm), 10 fF each, source at the west edge midpoint.
+    @raise Invalid_argument when [n < 1]. *)
+val generate : n:int -> ?pitch:int -> unit -> Format_io.t

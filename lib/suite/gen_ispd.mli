@@ -1,0 +1,16 @@
+(** Synthetic stand-ins for the seven ISPD'09 CNS contest benchmarks.
+
+    The original files are not redistributable, so each benchmark is
+    regenerated deterministically from its published statistics: die size
+    (up to 17 mm × 17 mm), sink count (91–330), clustered sink placement,
+    blockages on the SoC-style benchmarks, the contest's 45 nm electricals
+    (Table I inverters, two wire widths), 100 ps slew limit, and a total
+    capacitance budget. Same name ⇒ same benchmark, bit for bit. *)
+
+(** ["ispd09f11"] … ["ispd09fnb1"]. *)
+val names : string list
+
+(** @raise Invalid_argument for unknown names. *)
+val generate : string -> Format_io.t
+
+val all : unit -> Format_io.t list

@@ -1,0 +1,61 @@
+open Geometry
+
+let family = [ 200; 500; 1_000; 2_000; 5_000; 10_000; 20_000; 50_000 ]
+
+let die_w = 4_200_000 (* nm *)
+let die_h = 3_000_000
+
+(* 450 placement rows × 300 columns = 135 000 candidate sites. *)
+let rows = 450
+let cols = 300
+let candidate_count = rows * cols
+
+(* Deterministic candidate site: jittered grid position with a smooth
+   density warp (flops bunch towards register banks). *)
+let site rng idx =
+  let r = idx / cols and c = idx mod cols in
+  let fx = (float_of_int c +. 0.5) /. float_of_int cols in
+  let fy = (float_of_int r +. 0.5) /. float_of_int rows in
+  (* Warp coordinates towards two "register bank" attractors. *)
+  let warp f centre strength = f +. (strength *. sin ((f -. centre) *. Float.pi)) in
+  let fx = warp fx 0.3 0.08 and fy = warp fy 0.6 0.06 in
+  let jitter scale = int_of_float (Rng.normal rng *. scale) in
+  let clamp v hi = min (max v 0) hi in
+  Point.make
+    (clamp (int_of_float (fx *. float_of_int die_w) + jitter 2_000.) die_w)
+    (clamp (int_of_float (fy *. float_of_int die_h) + jitter 2_000.) die_h)
+
+let generate n =
+  if n < 1 || n > candidate_count then
+    invalid_arg (Printf.sprintf "Gen_ti.generate: n=%d out of range" n);
+  let rng = Rng.create (0x71 + n) in
+  (* Sample n distinct site indices: Floyd's algorithm. *)
+  let chosen = Hashtbl.create (2 * n) in
+  for j = candidate_count - n to candidate_count - 1 do
+    let t = Rng.int rng (j + 1) in
+    if Hashtbl.mem chosen t then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen t ()
+  done;
+  let site_rng = Rng.create 0x7151 in
+  (* Generate all candidate positions deterministically, pick the chosen
+     ones (site jitter must not depend on n). *)
+  let sinks = ref [] in
+  let count = ref 0 in
+  for idx = 0 to candidate_count - 1 do
+    let p = site site_rng idx in
+    if Hashtbl.mem chosen idx then begin
+      sinks :=
+        { Dme.Zst.label = Printf.sprintf "ff%d" idx; pos = p;
+          cap = 2. +. (Rng.float rng *. 4.); parity = 0 }
+        :: !sinks;
+      incr count
+    end
+  done;
+  {
+    Format_io.name = Printf.sprintf "ti%d" n;
+    chip = Rect.make ~lx:0 ~ly:0 ~hx:die_w ~hy:die_h;
+    source = Point.make 0 (die_h / 2);
+    sinks = Array.of_list (List.rev !sinks);
+    obstacles = [];
+    tech = Tech.default45 ();
+  }

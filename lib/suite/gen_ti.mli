@@ -1,0 +1,18 @@
+(** Texas-Instruments-style scalability benchmarks (paper §V, Table V).
+
+    The paper samples 135 K sink locations identified on a 4.2 mm × 3.0 mm
+    production chip. The chip is proprietary, so this generator lays out
+    135 K candidate flop sites in jittered placement rows with realistic
+    density variation and deterministically samples n of them. The Table V
+    family uses n ∈ {200, 500, 1K, 2K, 5K, 10K, 20K, 50K}. *)
+
+(** The Table V sink counts. *)
+val family : int list
+
+(** [generate n] — benchmark named ["ti<n>"] with [n] sinks sampled from
+    the 135 K candidate sites. @raise Invalid_argument when [n] is not in
+    [1, 135000]. *)
+val generate : int -> Format_io.t
+
+(** Number of candidate sink sites (135 000). *)
+val candidate_count : int

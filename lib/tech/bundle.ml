@@ -1,0 +1,48 @@
+type t = {
+  name : string;
+  wires : Wire.t array;
+  devices : Device.t list;
+  slew_limit : float;
+  cap_limit : float;
+  source_r : float;
+  source_slew : float;
+  corners : Corner.t list;
+}
+
+let make ?(name = "custom") ~wires ~devices ~slew_limit ~cap_limit
+    ?(source_r = 25.) ?(source_slew = 30.)
+    ?(corners = [ Corner.fast; Corner.slow ]) () =
+  if Array.length wires = 0 then invalid_arg "Tech.make: no wire classes";
+  if devices = [] then invalid_arg "Tech.make: empty device library";
+  if corners = [] then invalid_arg "Tech.make: no corners";
+  { name; wires; devices; slew_limit; cap_limit; source_r; source_slew; corners }
+
+let default45 ?(cap_limit = infinity) () =
+  (* 45 nm global-layer clock wires: the wide class halves resistance at
+     ~1.6x the capacitance, matching the contest's two widths in spirit. *)
+  let narrow =
+    Wire.make ~name:"W1" ~res_per_nm:1.0e-4 ~cap_per_nm:1.6e-4
+  in
+  let wide =
+    Wire.make ~name:"W2" ~res_per_nm:0.5e-4 ~cap_per_nm:2.5e-4
+  in
+  make ~name:"ispd09-45nm" ~wires:[| narrow; wide |]
+    ~devices:[ Device.small_inverter; Device.large_inverter ]
+    ~slew_limit:100. ~cap_limit ()
+
+(* A finer wire ladder: four widths with graduated R/C. More classes give
+   the top-down wiresizing step finer slow-down granularity (each downsize
+   moves one class). *)
+let default45_multiwidth ?(cap_limit = infinity) () =
+  let mk name r c = Wire.make ~name ~res_per_nm:r ~cap_per_nm:c in
+  make ~name:"ispd09-45nm-4w"
+    ~wires:
+      [| mk "W1" 1.0e-4 1.6e-4; mk "W2" 0.8e-4 1.9e-4;
+         mk "W3" 0.65e-4 2.2e-4; mk "W4" 0.5e-4 2.5e-4 |]
+    ~devices:[ Device.small_inverter; Device.large_inverter ]
+    ~slew_limit:100. ~cap_limit ()
+
+let widest_wire t = Array.length t.wires - 1
+let narrowest_wire _ = 0
+let wire t i = t.wires.(i)
+let nominal_corner t = List.hd t.corners

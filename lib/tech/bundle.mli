@@ -1,0 +1,34 @@
+(** Technology bundle: everything benchmark-independent that the flow
+    needs — wire classes, the inverter library, limits and corners. *)
+
+type t = {
+  name : string;
+  wires : Wire.t array;
+      (** Available wire classes, ordered from narrowest (index 0, highest
+          resistance) to widest. New trees are built with the widest. *)
+  devices : Device.t list;  (** inverter library *)
+  slew_limit : float;       (** 10–90 % slew ceiling at any pin, ps *)
+  cap_limit : float;        (** total capacitance budget, fF *)
+  source_r : float;         (** clock-source driver resistance, Ω *)
+  source_slew : float;      (** slew of the clock source ramp, ps *)
+  corners : Corner.t list;  (** evaluation corners; head = nominal *)
+}
+
+val make :
+  ?name:string -> wires:Wire.t array -> devices:Device.t list ->
+  slew_limit:float -> cap_limit:float -> ?source_r:float ->
+  ?source_slew:float -> ?corners:Corner.t list -> unit -> t
+
+(** The 45 nm setting of the ISPD'09 contest: two wire widths, the Table I
+    inverters, 100 ps slew limit, corners 1.2 V (nominal/fast) and 1.0 V
+    (slow). [cap_limit] defaults to infinity; benchmarks override it. *)
+val default45 : ?cap_limit:float -> unit -> t
+
+(** Like {!default45} but with four graduated wire widths — finer
+    wiresizing granularity for the TWSZ step. *)
+val default45_multiwidth : ?cap_limit:float -> unit -> t
+
+val widest_wire : t -> int
+val narrowest_wire : t -> int
+val wire : t -> int -> Wire.t
+val nominal_corner : t -> Corner.t

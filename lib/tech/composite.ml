@@ -1,0 +1,54 @@
+type t = { base : Device.t; count : int }
+
+let make base count =
+  if count < 1 then invalid_arg "Composite.make: count < 1";
+  { base; count }
+
+let name t =
+  if t.count = 1 then t.base.Device.name
+  else Printf.sprintf "%dx%s" t.count t.base.Device.name
+
+let fcount t = float_of_int t.count
+let c_in t = t.base.Device.c_in *. fcount t
+let c_out t = t.base.Device.c_out *. fcount t
+let r_up t = t.base.Device.r_up /. fcount t
+let r_down t = t.base.Device.r_down /. fcount t
+let r_out t = Device.r_out t.base /. fcount t
+let d_intrinsic t = t.base.Device.d_intrinsic
+let slew_coeff t = t.base.Device.slew_coeff
+let inverting t = t.base.Device.inverting
+
+let scale t f =
+  if f <= 0. then invalid_arg "Composite.scale: nonpositive factor";
+  let count = max 1 (int_of_float (Float.round (float_of_int t.count *. f))) in
+  { t with count }
+
+let enumerate devices ~max_count =
+  List.concat_map
+    (fun d -> List.init max_count (fun i -> make d (i + 1)))
+    devices
+
+let non_dominated composites =
+  let dominated a b =
+    (* [b] dominates [a]: no worse on both axes, better on one. *)
+    c_in b <= c_in a && r_out b <= r_out a
+    && (c_in b < c_in a || r_out b < r_out a)
+  in
+  let keep =
+    List.filter
+      (fun a -> not (List.exists (fun b -> dominated a b) composites))
+      composites
+  in
+  (* Equal-electricals duplicates: keep the first occurrence. *)
+  let rec uniq = function
+    | [] -> []
+    | a :: rest ->
+      a :: uniq (List.filter (fun b -> c_in b <> c_in a || r_out b <> r_out a) rest)
+  in
+  List.sort (fun a b -> Float.compare (c_in a) (c_in b)) (uniq keep)
+
+let equal a b = a.base.Device.name = b.base.Device.name && a.count = b.count
+
+let pp ppf t =
+  Format.fprintf ppf "%s(cin=%.1f,cout=%.1f,r=%.2f)" (name t) (c_in t)
+    (c_out t) (r_out t)

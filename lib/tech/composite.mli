@@ -1,0 +1,35 @@
+(** Composite inverters: [count] parallel copies of a base device (§IV-B).
+
+    Parallel composition multiplies capacitances and divides resistances by
+    [count]; Table I shows that 8 parallel small inverters dominate one
+    large inverter (lower input cap, output cap and output resistance). *)
+
+type t = { base : Device.t; count : int }
+
+(** @raise Invalid_argument when [count < 1]. *)
+val make : Device.t -> int -> t
+
+val name : t -> string
+val c_in : t -> float
+val c_out : t -> float
+val r_up : t -> float
+val r_down : t -> float
+val r_out : t -> float
+val d_intrinsic : t -> float
+val slew_coeff : t -> float
+val inverting : t -> bool
+
+(** Scale the parallel count by a real factor, rounding to the nearest
+    count [>= 1] (used by iterative buffer sizing, §IV-I). *)
+val scale : t -> float -> t
+
+(** All composites of each base device with counts 1..[max_count]. *)
+val enumerate : Device.t list -> max_count:int -> t list
+
+(** The Pareto frontier of composites under (input cap, output resistance)
+    minimisation — the "non-dominated configurations" selected by dynamic
+    programming in §IV-B. Sorted by increasing input cap. *)
+val non_dominated : t list -> t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type t = { name : string; vdd : float; r_scale : float; d_scale : float }
+
+let v_nominal = 1.2
+
+let alpha_power ~vdd ~vth ~alpha =
+  (* R_eff ∝ Vdd / (Vdd - Vth)^alpha, normalised to 1 at the nominal
+     supply. *)
+  if vdd <= vth then invalid_arg "Corner: vdd <= vth";
+  let r v = v /. ((v -. vth) ** alpha) in
+  r vdd /. r v_nominal
+
+(* Effective (vth, alpha) are softer than raw transistor values: a gate's
+   delay has wire-like components that do not scale with drive current.
+   These defaults land the 1.0 V/1.2 V sensitivity near the ~2-4 % of
+   latency implied by the contest's published CLR-to-latency ratios. *)
+let make ~name ~vdd ?(vth = 0.15) ?(alpha = 1.05) () =
+  let r_scale = alpha_power ~vdd ~vth ~alpha in
+  (* Intrinsic delay tracks drive strength but more weakly: gate delay has
+     a wire-ish component. *)
+  let d_scale = 1. +. ((r_scale -. 1.) *. 0.6) in
+  { name; vdd; r_scale; d_scale }
+
+let fast = make ~name:"fast@1.2V" ~vdd:1.2 ()
+let slow = make ~name:"slow@1.0V" ~vdd:1.0 ()
+
+let pp ppf c =
+  Format.fprintf ppf "%s(r×%.3f,d×%.3f)" c.name c.r_scale c.d_scale

@@ -1,0 +1,28 @@
+(** Process/voltage corners.
+
+    The ISPD'09 CLR objective is the difference between the greatest sink
+    latency at 1.0 V supply and the least sink latency at 1.2 V. Supply
+    scaling is modelled by the alpha-power law: driver on-resistance scales
+    as [Vdd / (Vdd - Vth)^alpha], so weaker supplies slow drivers more than
+    wires — which is why strong composite buffers reduce CLR (§IV-H). *)
+
+type t = {
+  name : string;
+  vdd : float;
+  r_scale : float;      (** multiplier on device output resistance *)
+  d_scale : float;      (** multiplier on device intrinsic delay *)
+}
+
+val make : name:string -> vdd:float -> ?vth:float -> ?alpha:float -> unit -> t
+(** Scales are derived from the alpha-power law relative to the nominal
+    1.2 V supply. Defaults: [vth = 0.15] V, [alpha = 1.05] — effective
+    values softer than raw transistor parameters, matching the supply
+    sensitivity observed in the contest results. *)
+
+(** 1.2 V — the contest's fast evaluation corner (scales = 1). *)
+val fast : t
+
+(** 1.0 V — the contest's slow evaluation corner. *)
+val slow : t
+
+val pp : Format.formatter -> t -> unit

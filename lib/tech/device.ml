@@ -1,0 +1,37 @@
+type t = {
+  name : string;
+  c_in : float;
+  c_out : float;
+  r_up : float;
+  r_down : float;
+  d_intrinsic : float;
+  slew_coeff : float;
+  inverting : bool;
+}
+
+let make ~name ~c_in ~c_out ~r_up ~r_down ~d_intrinsic ?(slew_coeff = 0.1)
+    ~inverting () =
+  if c_in <= 0. || c_out < 0. || r_up <= 0. || r_down <= 0. then
+    invalid_arg "Device.make: nonpositive electricals";
+  { name; c_in; c_out; r_up; r_down; d_intrinsic; slew_coeff; inverting }
+
+let r_out d = (d.r_up +. d.r_down) /. 2.
+
+(* Table I of the paper: ISPD'09 contest inverters. The ±5 % split models
+   the PMOS/NMOS strength mismatch that makes rising and falling corner
+   sinks diverge once skew is small. *)
+let split r = (r *. 1.05, r *. 0.95)
+
+let large_inverter =
+  let r_up, r_down = split 61.2 in
+  make ~name:"INV_L" ~c_in:35.0 ~c_out:80.0 ~r_up ~r_down ~d_intrinsic:14.0
+    ~inverting:true ()
+
+let small_inverter =
+  let r_up, r_down = split 440.0 in
+  make ~name:"INV_S" ~c_in:4.2 ~c_out:6.1 ~r_up ~r_down ~d_intrinsic:17.0
+    ~inverting:true ()
+
+let pp ppf d =
+  Format.fprintf ppf "%s(cin=%.1ffF,cout=%.1ffF,r=%.1fΩ%s)" d.name d.c_in
+    d.c_out (r_out d) (if d.inverting then ",inv" else "")

@@ -1,0 +1,36 @@
+(** Clock inverters/buffers.
+
+    Electrically a device is a Thevenin driver: the input pin presents
+    [c_in] to the upstream stage; after an intrinsic delay (plus a
+    slew-dependent term) the output switches through the pull-up or
+    pull-down resistance, driving its own parasitic [c_out] plus the
+    downstream network. Separate pull-up/pull-down resistances produce the
+    rise/fall asymmetry discussed in the paper (§IV-G, rise–fall
+    divergence). *)
+
+type t = {
+  name : string;
+  c_in : float;         (** input pin capacitance, fF *)
+  c_out : float;        (** output parasitic capacitance, fF *)
+  r_up : float;         (** pull-up (output rising) resistance, Ω *)
+  r_down : float;       (** pull-down (output falling) resistance, Ω *)
+  d_intrinsic : float;  (** intrinsic delay, ps *)
+  slew_coeff : float;   (** added delay per ps of input slew *)
+  inverting : bool;
+}
+
+val make :
+  name:string -> c_in:float -> c_out:float -> r_up:float -> r_down:float ->
+  d_intrinsic:float -> ?slew_coeff:float -> inverting:bool -> unit -> t
+
+(** Average of pull-up and pull-down resistance — the "output resistance"
+    of Table I. *)
+val r_out : t -> float
+
+(** The contest's two inverter types with the Table I electricals
+    (resistances split ±5 % into pull-up/pull-down around the Table I
+    value). *)
+val large_inverter : t
+val small_inverter : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+(** Library root: re-exports the technology submodules so that users write
+    [Tech.Wire], [Tech.Device], … and [Tech.t] for the bundle itself. *)
+
+module Units = Units
+module Wire = Wire
+module Device = Device
+module Composite = Composite
+module Corner = Corner
+include Bundle

@@ -1,0 +1,6 @@
+let rc_to_ps = 1e-3
+let ps_of_rc r c = r *. c *. rc_to_ps
+let nm_of_um um = int_of_float (Float.round (um *. 1000.))
+let um_of_nm nm = float_of_int nm /. 1000.
+let mm_of_nm nm = float_of_int nm /. 1.e6
+let ln9 = log 9.

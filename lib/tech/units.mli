@@ -1,0 +1,24 @@
+(** Unit conventions used throughout the code base.
+
+    - length: integer nanometres (nm)
+    - resistance: ohm (Ω)
+    - capacitance: femtofarad (fF)
+    - time: picoseconds (ps)
+    - voltage: volts (V), normalised waveforms use 0..1
+
+    One Ω·fF equals 10⁻³ ps, so delays computed as R·C products must be
+    scaled by {!rc_to_ps}. *)
+
+(** Multiply an Ω·fF product by this to obtain picoseconds. *)
+val rc_to_ps : float
+
+(** [ps_of_rc r c] is the RC product of [r] Ω and [c] fF in ps. *)
+val ps_of_rc : float -> float -> float
+
+val nm_of_um : float -> int
+val um_of_nm : int -> float
+val mm_of_nm : int -> float
+
+(** ln 9 ≈ 2.197: the 10%–90% transition time of a single-pole exponential
+    with time constant τ is [ln9 ⋅ τ]. *)
+val ln9 : float

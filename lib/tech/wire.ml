@@ -1,0 +1,17 @@
+type t = { name : string; res_per_nm : float; cap_per_nm : float }
+
+let make ~name ~res_per_nm ~cap_per_nm =
+  if res_per_nm <= 0. || cap_per_nm <= 0. then
+    invalid_arg "Wire.make: nonpositive unit parasitics";
+  { name; res_per_nm; cap_per_nm }
+
+let res w len = w.res_per_nm *. float_of_int len
+let cap w len = w.cap_per_nm *. float_of_int len
+
+let elmore_ps w len ~load =
+  let r = res w len and c = cap w len in
+  Units.ps_of_rc r ((c /. 2.) +. load)
+
+let pp ppf w =
+  Format.fprintf ppf "%s(r=%.4gΩ/um,c=%.4gfF/um)" w.name
+    (w.res_per_nm *. 1000.) (w.cap_per_nm *. 1000.)

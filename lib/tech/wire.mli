@@ -1,0 +1,26 @@
+(** Wire classes (widths/layers) available for clock routing.
+
+    The ISPD'09 contest provided two wire widths; a wider wire has lower
+    resistance and higher capacitance per unit length, so *downsizing* a
+    wire slows the paths through it — the mechanism exploited by Contango's
+    top-down wiresizing. *)
+
+type t = {
+  name : string;
+  res_per_nm : float;  (** Ω per nm *)
+  cap_per_nm : float;  (** fF per nm *)
+}
+
+val make : name:string -> res_per_nm:float -> cap_per_nm:float -> t
+
+val res : t -> int -> float
+(** [res w len] — total resistance of [len] nm of wire, Ω. *)
+
+val cap : t -> int -> float
+(** [cap w len] — total capacitance of [len] nm of wire, fF. *)
+
+(** Elmore delay (ps) of [len] nm of this wire driving an external load of
+    [load] fF: [R (C/2 + load)]. *)
+val elmore_ps : t -> int -> load:float -> float
+
+val pp : Format.formatter -> t -> unit

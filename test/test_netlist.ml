@@ -1,0 +1,134 @@
+open Geometry
+module Tree = Ctree.Tree
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tech = Tech.default45 ()
+
+let example_tree () =
+  let t = Tree.create ~tech ~source_pos:(Point.make 0 0) in
+  let buf = Tech.Composite.make Tech.Device.small_inverter 8 in
+  let b =
+    Tree.add_node t ~kind:(Tree.Buffer buf) ~pos:(Point.make 400_000 0)
+      ~parent:(Tree.root t) ()
+  in
+  ignore
+    (Tree.add_node t ~kind:(Tree.Sink { Tree.cap = 15.; parity = 1; label = "ff1" })
+       ~pos:(Point.make 800_000 0) ~parent:b ());
+  ignore
+    (Tree.add_node t ~kind:(Tree.Sink { Tree.cap = 22.; parity = 1; label = "ff2" })
+       ~pos:(Point.make 400_000 300_000) ~parent:b ());
+  t
+
+let count_prefix deck prefix =
+  String.split_on_char '\n' deck
+  |> List.filter (fun l -> String.length l >= String.length prefix
+                           && String.sub l 0 (String.length prefix) = prefix)
+  |> List.length
+
+let test_deck_structure () =
+  let deck = Analysis.Netlist.to_string (example_tree ()) in
+  check_bool "has title" true (String.sub deck 0 1 = "*");
+  check_int "one clock source" 1 (count_prefix deck "Vclk");
+  check_int "one source resistance" 1 (count_prefix deck "Rsrc");
+  check_int "one behavioural inverter" 1 (count_prefix deck "B");
+  check_int "transient card" 1 (count_prefix deck ".tran");
+  check_int "end card" 1 (count_prefix deck ".end");
+  (* two sinks -> two t50 measures and two slew measures *)
+  check_int "t50 measures" 2 (count_prefix deck ".measure tran t50_");
+  check_int "slew measures" 2 (count_prefix deck ".measure tran slew_")
+
+let test_deck_segments () =
+  (* 30 um segmentation of an 800_000+300_000+400_000 nm tree: resistor
+     count grows with finer segmentation. *)
+  let coarse = Analysis.Netlist.to_string ~seg_len:200_000 (example_tree ()) in
+  let fine = Analysis.Netlist.to_string ~seg_len:20_000 (example_tree ()) in
+  check_bool "finer -> more resistors" true
+    (count_prefix fine "R" > count_prefix coarse "R")
+
+let test_deck_sink_caps () =
+  let deck = Analysis.Netlist.to_string (example_tree ()) in
+  check_bool "sink ff1 cap present" true
+    (List.exists
+       (fun l -> l = "* sink ff1")
+       (String.split_on_char '\n' deck));
+  (* inverter subckt parts present *)
+  check_bool "inverter comment" true
+    (List.exists
+       (fun l ->
+         String.length l > 20 && String.sub l 0 20 = "* composite inverter")
+       (String.split_on_char '\n' deck))
+
+let test_deck_cap_consistency () =
+  (* The summed capacitor values in the deck must equal the tree's total
+     capacitance accounting: wire + sink + buffer cin + buffer cout. *)
+  let tree = example_tree () in
+  let deck = Analysis.Netlist.to_string ~seg_len:25_000 tree in
+  let total_deck_cap =
+    String.split_on_char '\n' deck
+    |> List.filter (fun l -> String.length l > 1 && l.[0] = 'C')
+    |> List.fold_left
+         (fun acc l ->
+           (* last token is like "12.5f" *)
+           let tokens = String.split_on_char ' ' l in
+           let v = List.nth tokens (List.length tokens - 1) in
+           let v = String.sub v 0 (String.length v - 1) in
+           acc +. float_of_string v)
+         0.
+  in
+  let s = Ctree.Stats.compute tree in
+  let expected =
+    s.Ctree.Stats.wire_cap +. s.Ctree.Stats.sink_cap
+    +. s.Ctree.Stats.buffer_in_cap +. s.Ctree.Stats.buffer_out_cap
+  in
+  Alcotest.(check (float 0.01)) "deck caps = tree caps" expected total_deck_cap
+
+let test_deck_res_consistency () =
+  (* Summed wire resistors (excluding source and inverter output Rs). *)
+  let tree = example_tree () in
+  let deck = Analysis.Netlist.to_string ~seg_len:25_000 tree in
+  let total_deck_res =
+    String.split_on_char '\n' deck
+    |> List.filter (fun l ->
+           String.length l > 1 && l.[0] = 'R' && not (String.sub l 0 4 = "Rsrc"))
+    |> List.fold_left
+         (fun acc l ->
+           let tokens = String.split_on_char ' ' l in
+           (* inverter output resistors connect n<i>i to n<i>o; skip them *)
+           match tokens with
+           | _ :: a :: _ :: v :: _ when String.length a > 1 &&
+               a.[String.length a - 1] = 'i' -> ignore v; acc
+           | _ :: _ :: _ :: v :: _ -> acc +. float_of_string v
+           | _ -> acc)
+         0.
+  in
+  let expected = ref 0. in
+  Ctree.Tree.iter tree (fun nd ->
+      if nd.Ctree.Tree.parent >= 0 then
+        expected :=
+          !expected
+          +. Tech.Wire.res (Ctree.Tree.wire_of tree nd) (Ctree.Tree.wire_len nd));
+  Alcotest.(check (float 0.01)) "deck wire res = tree wire res" !expected
+    total_deck_res
+
+let test_write_file () =
+  let path = Filename.temp_file "contango" ".cir" in
+  Analysis.Netlist.write_file path (example_tree ());
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  check_bool "file non-empty" true (len > 200)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ("deck",
+       [ Alcotest.test_case "structure" `Quick test_deck_structure;
+         Alcotest.test_case "segmentation" `Quick test_deck_segments;
+         Alcotest.test_case "sink caps" `Quick test_deck_sink_caps;
+         Alcotest.test_case "cap consistency" `Quick test_deck_cap_consistency;
+         Alcotest.test_case "res consistency" `Quick test_deck_res_consistency;
+         Alcotest.test_case "write file" `Quick test_write_file ]);
+    ]
