@@ -13,6 +13,10 @@ module Ev = Analysis.Evaluator
 
 let full = Sys.getenv_opt "CONTANGO_BENCH_FULL" <> None
 let quick = Sys.getenv_opt "CONTANGO_BENCH_QUICK" <> None
+
+(* CONTANGO_BENCH_EVAL=1: run only the evaluator-kernel benchmark and the
+   incremental-vs-seed flow comparison (writes evaluator_bench.json). *)
+let eval_only = Sys.getenv_opt "CONTANGO_BENCH_EVAL" <> None
 let out_dir = "bench_out"
 
 let fmt = Suite.Report.fmt
@@ -197,6 +201,7 @@ let table4 results =
 let table5 () =
   section "Table V — scalability (TI-style die, moment-matching engine)";
   let json_rows = ref [] in
+  let total_evals = ref 0 in
   let sizes =
     if quick then [ 200; 500; 1_000; 2_000 ]
     else if full then Suite.Gen_ti.family
@@ -217,6 +222,7 @@ let table5 () =
             ~source:b.Suite.Format_io.source b.Suite.Format_io.sinks
         in
         Printf.printf " %.1f s\n%!" r.Core.Flow.seconds;
+        total_evals := !total_evals + r.Core.Flow.eval_runs;
         let final = r.Core.Flow.final in
         json_rows :=
           Suite.Report.Json.Obj
@@ -253,7 +259,7 @@ let table5 () =
        ~header rows);
   if not full then
     print_endline "set CONTANGO_BENCH_FULL=1 for the 20K and 50K rows";
-  List.rev !json_rows
+  (List.rev !json_rows, !total_evals)
 
 (* Machine-readable record of the measured results. *)
 let write_json results table5_rows =
@@ -297,6 +303,140 @@ let write_json results table5_rows =
       ]
   in
   let path = Filename.concat out_dir "results.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string json));
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator kernels: from-scratch vs incremental vs parallel           *)
+(* ------------------------------------------------------------------ *)
+
+let time_runs reps f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let evaluator_bench () =
+  section "Evaluator kernels — from-scratch vs incremental vs parallel";
+  let open Suite.Report.Json in
+  let config = Core.Config.scalability in
+  let engine = config.Core.Config.engine in
+  let seg_len = config.Core.Config.seg_len in
+  let sizes = if quick then [ 200; 500; 1_000 ] else [ 200; 500; 1_000; 2_000 ] in
+  let kernel_rows =
+    List.map
+      (fun n ->
+        let b = Suite.Gen_ti.generate n in
+        let tree, _, _, _ =
+          Core.Flow.initial_tree ~config ~tech:b.Suite.Format_io.tech
+            ~source:b.Suite.Format_io.source b.Suite.Format_io.sinks
+        in
+        let reps = if n >= 2_000 then 3 else 5 in
+        let t_scratch =
+          time_runs reps (fun () -> ignore (Ev.evaluate ~engine ~seg_len tree))
+        in
+        (* A localized edit per repetition (distinct snake each time so the
+           whole-result memo cannot short-circuit): the incremental session
+           re-solves only the touched stage. *)
+        let victim =
+          let sinks = Ctree.Tree.sinks tree in
+          sinks.(Array.length sinks / 2)
+        in
+        let bench_session parallel =
+          let session =
+            Ev.Incremental.create ~engine ~seg_len ~parallel tree
+          in
+          ignore (Ev.Incremental.refresh session);
+          let rep = ref 0 in
+          time_runs reps (fun () ->
+              incr rep;
+              Ctree.Tree.set_snake tree victim (!rep * 200);
+              ignore (Ev.Incremental.refresh session))
+        in
+        let t_incr = bench_session false in
+        let t_par = bench_session true in
+        Printf.printf
+          "  %6d sinks: scratch %8.2f ms | incremental %8.2f ms (%5.1fx) | parallel %8.2f ms\n%!"
+          n (t_scratch *. 1e3) (t_incr *. 1e3) (t_scratch /. t_incr)
+          (t_par *. 1e3);
+        Obj
+          [
+            ("sinks", Num (float_of_int n));
+            ("scratch_ms", Num (t_scratch *. 1e3));
+            ("incremental_ms", Num (t_incr *. 1e3));
+            ("parallel_ms", Num (t_par *. 1e3));
+            ("kernel_speedup", Num (t_scratch /. t_incr));
+          ])
+      sizes
+  in
+  (* Full-flow comparison on the 2K-sink benchmark: seed evaluator (no
+     session) vs incremental session. Results must be identical — only
+     wall-clock may differ. *)
+  section "Flow comparison — 2K sinks, seed evaluator vs incremental session";
+  let flow_n = if quick then 1_000 else 2_000 in
+  let b = Suite.Gen_ti.generate flow_n in
+  let run_flow incremental =
+    let config = { config with Core.Config.incremental } in
+    Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
+      ~source:b.Suite.Format_io.source b.Suite.Format_io.sinks
+  in
+  Printf.printf "  running ti%d with the seed evaluator...\n%!" flow_n;
+  let seed_run = run_flow false in
+  Printf.printf "    %.1f s, skew %.3f ps, %d evals\n%!"
+    seed_run.Core.Flow.seconds seed_run.Core.Flow.final.Ev.skew
+    seed_run.Core.Flow.eval_runs;
+  Printf.printf "  running ti%d with the incremental session...\n%!" flow_n;
+  let inc_run = run_flow true in
+  let last_trace =
+    List.nth inc_run.Core.Flow.trace
+      (List.length inc_run.Core.Flow.trace - 1)
+  in
+  Printf.printf
+    "    %.1f s, skew %.3f ps, %d evals, cache %d hits / %d misses\n%!"
+    inc_run.Core.Flow.seconds inc_run.Core.Flow.final.Ev.skew
+    inc_run.Core.Flow.eval_runs last_trace.Core.Flow.cache_hits
+    last_trace.Core.Flow.cache_misses;
+  List.iter2
+    (fun (s : Core.Flow.trace_entry) (i : Core.Flow.trace_entry) ->
+      Printf.printf "      %-8s seed %5.2f s | incremental %5.2f s\n"
+        (Core.Flow.step_name i.Core.Flow.step) s.Core.Flow.step_seconds
+        i.Core.Flow.step_seconds)
+    seed_run.Core.Flow.trace inc_run.Core.Flow.trace;
+  let skew_delta =
+    Float.abs
+      (seed_run.Core.Flow.final.Ev.skew -. inc_run.Core.Flow.final.Ev.skew)
+  in
+  let speedup = seed_run.Core.Flow.seconds /. inc_run.Core.Flow.seconds in
+  Printf.printf "  flow speedup %.2fx, |skew delta| = %.3g ps%s\n" speedup
+    skew_delta
+    (if skew_delta > 1e-9 then "  ** RESULTS DIVERGED **" else "");
+  let json =
+    Obj
+      [
+        ("kernels", List kernel_rows);
+        ("flow",
+         Obj
+           [
+             ("sinks", Num (float_of_int flow_n));
+             ("seed_seconds", Num seed_run.Core.Flow.seconds);
+             ("incremental_seconds", Num inc_run.Core.Flow.seconds);
+             ("speedup", Num speedup);
+             ("skew_delta_ps", Num skew_delta);
+             ("seed_skew_ps", Num seed_run.Core.Flow.final.Ev.skew);
+             ("incremental_skew_ps", Num inc_run.Core.Flow.final.Ev.skew);
+             ("eval_runs", Num (float_of_int inc_run.Core.Flow.eval_runs));
+             ("cache_hits",
+              Num (float_of_int last_trace.Core.Flow.cache_hits));
+             ("cache_misses",
+              Num (float_of_int last_trace.Core.Flow.cache_misses));
+           ]);
+      ]
+  in
+  let path = Filename.concat out_dir "evaluator_bench.json" in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -577,22 +717,34 @@ let kernels () =
 let () =
   (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let t0 = Unix.gettimeofday () in
-  Printf.printf
-    "Contango benchmark harness — reproduces the DATE'10 evaluation\n\
-     (engine: backward-Euler transient 'SPICE substitute' for ISPD-scale,\n\
-     two-pole moment matching for the TI scalability family)\n";
-  table1 ();
-  section "Running the seven ISPD'09-style benchmarks through the full flow";
-  let results = run_benchmarks () in
-  table2 results;
-  table3 results;
-  table4 results;
-  let table5_rows = table5 () in
-  write_json results table5_rows;
-  fig1 results;
-  fig2 ();
-  fig3 results;
-  if not quick then ablations ();
-  if not quick then variation results;
-  if not quick then kernels ();
-  Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  if eval_only then begin
+    evaluator_bench ();
+    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  end
+  else begin
+    Printf.printf
+      "Contango benchmark harness — reproduces the DATE'10 evaluation\n\
+       (engine: backward-Euler transient 'SPICE substitute' for ISPD-scale,\n\
+       two-pole moment matching for the TI scalability family)\n";
+    table1 ();
+    section "Running the seven ISPD'09-style benchmarks through the full flow";
+    let results = run_benchmarks () in
+    table2 results;
+    table3 results;
+    table4 results;
+    let table5_rows, table5_evals = table5 () in
+    write_json results table5_rows;
+    (* Deterministic eval-run total of the Table V suite — the CI
+       regression guard diffs this against bench/eval_baseline.txt. *)
+    let oc = open_out (Filename.concat out_dir "eval_total.txt") in
+    Printf.fprintf oc "%d\n" table5_evals;
+    close_out oc;
+    fig1 results;
+    fig2 ();
+    fig3 results;
+    if not quick then evaluator_bench ();
+    if not quick then ablations ();
+    if not quick then variation results;
+    if not quick then kernels ();
+    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,128 @@
+(* A tiny fixed-size pool of OCaml 5 domains for coarse-grained fan-out
+   (one job per corner × transition evaluation pass). Stdlib-only: a
+   mutex/condition protected queue feeds the workers; the caller also
+   drains the queue itself ("caller helps") so a pool of size 0 — the
+   right size on a single-core host — degrades to plain sequential
+   execution with no domain spawned at all. *)
+
+type job = unit -> unit
+
+type t = {
+  mutable domains : unit Domain.t list;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closing : bool;
+}
+
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.closing do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    if Queue.is_empty pool.queue && pool.closing then Mutex.unlock pool.lock
+    else begin
+      let job = Queue.pop pool.queue in
+      Mutex.unlock pool.lock;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?size () =
+  let size =
+    match size with
+    | Some s -> max 0 s
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    { domains = []; queue = Queue.create (); lock = Mutex.create ();
+      nonempty = Condition.create (); closing = false }
+  in
+  pool.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = List.length pool.domains
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.closing <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+(* Try to pop and run one queued job; false when the queue is empty. *)
+let help_one pool =
+  Mutex.lock pool.lock;
+  match Queue.pop pool.queue with
+  | job ->
+    Mutex.unlock pool.lock;
+    job ();
+    true
+  | exception Queue.Empty ->
+    Mutex.unlock pool.lock;
+    false
+
+let map pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if size pool = 0 || n = 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = Atomic.make n in
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    let run i =
+      (match f xs.(i) with
+      | y -> results.(i) <- Some y
+      | exception e -> errors.(i) <- Some e);
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_lock;
+        Condition.broadcast all_done;
+        Mutex.unlock done_lock
+      end
+    in
+    Mutex.lock pool.lock;
+    for i = 1 to n - 1 do
+      Queue.add (fun () -> run i) pool.queue
+    done;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    (* The caller takes job 0 itself, then helps drain the queue. *)
+    run 0;
+    while help_one pool do () done;
+    Mutex.lock done_lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done done_lock
+    done;
+    Mutex.unlock done_lock;
+    Array.init n (fun i ->
+        match errors.(i) with
+        | Some e -> raise e
+        | None -> (
+          match results.(i) with
+          | Some y -> y
+          | None -> assert false))
+  end
+
+(* Lazily created process-wide pool, reaped at exit so multicore hosts do
+   not hang on dangling domains. *)
+let global_pool = ref None
+
+let global () =
+  match !global_pool with
+  | Some p -> p
+  | None ->
+    let p = create () in
+    global_pool := Some p;
+    at_exit (fun () ->
+        match !global_pool with
+        | Some p ->
+          global_pool := None;
+          shutdown p
+        | None -> ());
+    p

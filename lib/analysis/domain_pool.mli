@@ -1,0 +1,29 @@
+(** A small fixed pool of OCaml 5 domains for coarse-grained parallel
+    fan-out (stdlib-only: [Domain], [Mutex], [Condition], [Atomic]).
+
+    Jobs must not share mutable state unless they synchronise themselves;
+    the evaluator hands each job its own output slot and per-slot caches,
+    so runs are deterministic regardless of scheduling. *)
+
+type t
+
+(** [create ?size ()] spawns [size] worker domains (default
+    [Domain.recommended_domain_count () - 1], floored at 0). A pool of
+    size 0 runs everything on the calling domain. *)
+val create : ?size:int -> unit -> t
+
+(** Number of worker domains (excludes the calling domain). *)
+val size : t -> int
+
+(** Join all workers. The pool must not be used afterwards. *)
+val shutdown : t -> unit
+
+(** Parallel [Array.map], order-preserving. The calling domain executes
+    jobs too, so a size-0 pool is exactly sequential [Array.map]. If any
+    job raises, the exception for the lowest index is re-raised after all
+    jobs finish. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** The shared lazily-created pool (default size), joined automatically
+    at process exit. *)
+val global : unit -> t

@@ -39,10 +39,20 @@ let solve_stage engine rc ~r_drv ~s_drv =
   | Spice -> Transient.solve rc ~r_drv ~s_drv
 
 (* The inverter's internal switching ramp: mostly a device property, with a
-   mild dependence on how slowly the input arrives. *)
-let internal_ramp_slew ~in_slew = Float.max 2.0 (0.15 *. in_slew)
+   mild dependence on how slowly the input arrives. Quantised to a ¼ ps
+   grid so that last-bit noise in an upstream stage's slew cannot ripple a
+   fresh (r_drv, s_drv) cache key into every downstream stage — any
+   self-consistent evaluator is admissible (paper §V fn. 2), and both
+   [evaluate] and [Incremental.refresh] share this exact function. *)
+let internal_ramp_slew ~in_slew =
+  let raw = Float.max 2.0 (0.15 *. in_slew) in
+  Float.round (raw *. 4.) /. 4.
 
-let propagate engine tree stages (corner : Tech.Corner.t) source_transition =
+(* Chain one corner × source-transition pass over the stages. [solve] is
+   indexed by the stage position so callers can attach per-stage cached
+   state (fingerprints, factorisations) without recomputing it here. *)
+let propagate_with ~solve tree stages (corner : Tech.Corner.t)
+    source_transition =
   let n = Tree.size tree in
   let tech = Tree.tech tree in
   let latency = Array.make n nan in
@@ -54,8 +64,8 @@ let propagate engine tree stages (corner : Tech.Corner.t) source_transition =
   let in_slew = Array.make n tech.Tech.source_slew in
   launch.(Tree.root tree) <- 0.;
   let worst_slew = ref 0. and worst_node = ref (-1) in
-  List.iter
-    (fun { Rcnet.driver; rc } ->
+  Array.iteri
+    (fun si { Rcnet.driver; rc } ->
       let tr = out_tr.(driver) in
       let r_base =
         match (Tree.node tree driver).Tree.kind with
@@ -73,7 +83,7 @@ let propagate engine tree stages (corner : Tech.Corner.t) source_transition =
         | Tree.Source -> tech.Tech.source_slew
         | _ -> internal_ramp_slew ~in_slew:in_slew.(driver)
       in
-      let results = solve_stage engine rc ~r_drv ~s_drv in
+      let results = solve si rc ~r_drv ~s_drv in
       Array.iteri
         (fun k (_, tap) ->
           let d, s = results.(k) in
@@ -103,6 +113,11 @@ let propagate engine tree stages (corner : Tech.Corner.t) source_transition =
   { corner; transition = source_transition; latency; slew;
     worst_slew = !worst_slew; worst_slew_node = !worst_node }
 
+let propagate engine tree stages corner source_transition =
+  propagate_with
+    ~solve:(fun _ rc ~r_drv ~s_drv -> solve_stage engine rc ~r_drv ~s_drv)
+    tree stages corner source_transition
+
 let spread latencies sinks =
   let lo = ref infinity and hi = ref neg_infinity in
   Array.iter
@@ -115,22 +130,22 @@ let spread latencies sinks =
     sinks;
   (!lo, !hi)
 
-let evaluate ?(engine = Spice) ?seg_len tree =
-  incr counter;
+(* Corners are records; callers legitimately rebuild the corner list (e.g.
+   variation sweeps), so identity is the name, not physical equality. *)
+let corner_equal (a : Tech.Corner.t) (b : Tech.Corner.t) =
+  a.Tech.Corner.name = b.Tech.Corner.name
+
+(* Fold a set of per-corner/transition runs into the summary record.
+   Shared verbatim by [evaluate] and [Incremental.refresh] so the two
+   entry points cannot drift apart. *)
+let summarize tree runs =
   let tech = Tree.tech tree in
-  let stages = Rcnet.stages ?seg_len tree in
   let sinks = Tree.sinks tree in
   let corners = tech.Tech.corners in
   let nominal = List.hd corners in
-  let runs =
-    List.concat_map
-      (fun corner ->
-        List.map (propagate engine tree stages corner) [ Rise; Fall ])
-      corners
-  in
   let find corner tr =
     List.find
-      (fun r -> r.corner == corner && r.transition = tr)
+      (fun r -> corner_equal r.corner corner && r.transition = tr)
       runs
   in
   let skew_of r =
@@ -181,9 +196,24 @@ let evaluate ?(engine = Spice) ?seg_len tree =
     stats;
   }
 
+let evaluate ?(engine = Spice) ?seg_len tree =
+  incr counter;
+  let tech = Tree.tech tree in
+  let stages = Array.of_list (Rcnet.stages ?seg_len tree) in
+  let corners = tech.Tech.corners in
+  let runs =
+    List.concat_map
+      (fun corner ->
+        List.map (propagate engine tree stages corner) [ Rise; Fall ])
+      corners
+  in
+  summarize tree runs
+
 let nominal_run t tr =
   let nominal = (List.hd t.runs).corner in
-  List.find (fun r -> r.transition = tr && r.corner == nominal) t.runs
+  List.find
+    (fun r -> r.transition = tr && corner_equal r.corner nominal)
+    t.runs
 
 let ok t = t.slew_violations = 0 && t.cap_ok
 
@@ -192,3 +222,154 @@ let pp_summary ppf t =
     "skew=%.3fps (r %.3f / f %.3f) clr=%.3fps lat=[%.1f,%.1f]ps slewviol=%d%s"
     t.skew t.skew_rise t.skew_fall t.clr t.t_min t.t_max t.slew_violations
     (if t.cap_ok then "" else " CAP-OVER")
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  refreshes : int;
+  fast_refreshes : int;
+  entries : int;
+}
+
+module Incremental = struct
+  (* One (corner × source transition) evaluation pass owns its own cache
+     so the domain-parallel phase shares no mutable state between jobs:
+     results are deterministic regardless of scheduling, and no locks are
+     taken on the hot path. The key is the stage's content fingerprint
+     plus the driver parameters — correctness does not depend on the tree
+     revision counter, which is only a whole-result fast path. *)
+  type slot = {
+    s_corner : Tech.Corner.t;
+    s_transition : transition;
+    cache : (Int64.t * float * float, (float * float) array) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  type session = {
+    engine : engine;
+    seg_len : int option;
+    parallel : bool;
+    mutable tree : Tree.t;
+    slots : slot array;
+    (* Backward-Euler factorisations by stage fingerprint; r_drv enters
+       only at solve time, so one entry serves every driver resistance
+       and both transitions. Read-only during the parallel phase. *)
+    factored : (Int64.t, Transient.factored) Hashtbl.t;
+    mutable last : t option;
+    mutable last_revision : int;
+    mutable last_tree : Tree.t;
+    mutable refreshes : int;
+    mutable fast_refreshes : int;
+  }
+
+  (* Reset-on-overflow caps: generous enough that a full Flow run never
+     trips them, small enough to bound memory on pathological inputs. *)
+  let cache_cap = 200_000
+  let factored_cap = 4_096
+
+  let create ?(engine = Spice) ?seg_len ?(parallel = true) tree =
+    let corners = (Tree.tech tree).Tech.corners in
+    let slots =
+      Array.of_list
+        (List.concat_map
+           (fun corner ->
+             List.map
+               (fun tr ->
+                 { s_corner = corner; s_transition = tr;
+                   cache = Hashtbl.create 1024; hits = 0; misses = 0 })
+               [ Rise; Fall ])
+           corners)
+    in
+    { engine; seg_len; parallel; tree; slots;
+      factored = Hashtbl.create 256; last = None; last_revision = -1;
+      last_tree = tree; refreshes = 0; fast_refreshes = 0 }
+
+  let run_slot session stages fps slot =
+    let solve si rc ~r_drv ~s_drv =
+      let key = (fps.(si), r_drv, s_drv) in
+      match Hashtbl.find_opt slot.cache key with
+      | Some r ->
+        slot.hits <- slot.hits + 1;
+        r
+      | None ->
+        slot.misses <- slot.misses + 1;
+        let r =
+          match session.engine with
+          | Spice ->
+            Transient.solve
+              ?factored:(Hashtbl.find_opt session.factored fps.(si))
+              rc ~r_drv ~s_drv
+          | Arnoldi ->
+            (* Newton-polished crossings: same roots as [Moments.solve]
+               to ~1e-12 ps at a fraction of the cost (see moments.mli). *)
+            Moments.solve_fast rc ~r_drv ~s_drv
+          | Elmore_model -> solve_stage session.engine rc ~r_drv ~s_drv
+        in
+        if Hashtbl.length slot.cache >= cache_cap then Hashtbl.reset slot.cache;
+        Hashtbl.add slot.cache key r;
+        r
+    in
+    propagate_with ~solve session.tree stages slot.s_corner slot.s_transition
+
+  let full_refresh session =
+    let tree = session.tree in
+    let stages = Array.of_list (Rcnet.stages ?seg_len:session.seg_len tree) in
+    let fps = Array.map (fun st -> Rcnet.fingerprint st.Rcnet.rc) stages in
+    (* Pre-factor Spice stages sequentially so the table is read-only while
+       domains run. *)
+    if session.engine = Spice then begin
+      if Hashtbl.length session.factored >= factored_cap then
+        Hashtbl.reset session.factored;
+      Array.iteri
+        (fun i st ->
+          if not (Hashtbl.mem session.factored fps.(i)) then
+            Hashtbl.add session.factored fps.(i)
+              (Transient.factor st.Rcnet.rc))
+        stages
+    end;
+    let runs =
+      if session.parallel && Array.length session.slots > 1 then
+        Domain_pool.map (Domain_pool.global ())
+          (run_slot session stages fps)
+          session.slots
+      else Array.map (run_slot session stages fps) session.slots
+    in
+    summarize tree (Array.to_list runs)
+
+  let refresh ?tree session =
+    (match tree with Some t -> session.tree <- t | None -> ());
+    incr counter;
+    session.refreshes <- session.refreshes + 1;
+    let rev = Tree.revision session.tree in
+    match session.last with
+    | Some res when session.last_tree == session.tree && session.last_revision = rev ->
+      session.fast_refreshes <- session.fast_refreshes + 1;
+      res
+    | _ ->
+      let res = full_refresh session in
+      session.last <- Some res;
+      session.last_revision <- Tree.revision session.tree;
+      session.last_tree <- session.tree;
+      res
+
+  let stats session =
+    let hits = Array.fold_left (fun a s -> a + s.hits) 0 session.slots in
+    let misses = Array.fold_left (fun a s -> a + s.misses) 0 session.slots in
+    let entries =
+      Array.fold_left (fun a s -> a + Hashtbl.length s.cache) 0 session.slots
+    in
+    { hits; misses; refreshes = session.refreshes;
+      fast_refreshes = session.fast_refreshes; entries }
+
+  let invalidate session =
+    Array.iter
+      (fun s ->
+        Hashtbl.reset s.cache;
+        s.hits <- 0;
+        s.misses <- 0)
+      session.slots;
+    Hashtbl.reset session.factored;
+    session.last <- None;
+    session.last_revision <- -1
+end

@@ -60,3 +60,49 @@ val eval_count : unit -> int
 val reset_eval_count : unit -> unit
 
 val pp_summary : Format.formatter -> t -> unit
+
+type cache_stats = {
+  hits : int;            (** stage solves answered from cache *)
+  misses : int;          (** stage solves that ran an engine *)
+  refreshes : int;       (** total {!Incremental.refresh} calls *)
+  fast_refreshes : int;  (** refreshes short-circuited by the revision memo *)
+  entries : int;         (** live cached stage results across all slots *)
+}
+
+(** Session-based incremental evaluation.
+
+    A session owns per-(corner × transition) caches of stage results keyed
+    by the stage's content fingerprint (see {!Rcnet.fingerprint}) and the
+    driver parameters, plus — for the [Spice] engine — a table of
+    backward-Euler factorisations reusable across driver resistances.
+    [refresh] recomputes only stages whose electrical content or launch
+    conditions changed since any earlier refresh and is numerically
+    identical to a from-scratch {!evaluate} with the same engine and
+    [seg_len]; see doc/EXTENDING.md for the invalidation rules.
+
+    Sessions are not thread-safe: call [refresh] from one domain at a
+    time. Internally, refresh may fan the independent corner × transition
+    passes out over a small domain pool ([parallel], default true); each
+    pass owns its cache slot, so results are deterministic and identical
+    to the sequential order. *)
+module Incremental : sig
+  type session
+
+  (** [create tree] prepares a session; no evaluation happens yet.
+      [engine]/[seg_len] default like {!evaluate}. *)
+  val create :
+    ?engine:engine -> ?seg_len:int -> ?parallel:bool -> Ctree.Tree.t ->
+    session
+
+  (** Re-evaluate the session's tree, reusing every cached stage that
+      still matches. [?tree] rebinds the session to a replacement tree
+      (e.g. after {!Ctree.Tree.compact}); caches carry over because keys
+      are content-derived, not id-derived. Counts as one evaluator run. *)
+  val refresh : ?tree:Ctree.Tree.t -> session -> t
+
+  val stats : session -> cache_stats
+
+  (** Drop all cached state (stage results, factorisations, the
+      whole-result memo). Only useful for benchmarks and tests. *)
+  val invalidate : session -> unit
+end

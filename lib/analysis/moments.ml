@@ -96,3 +96,85 @@ let solve (rc : Rcnet.t) ~r_drv ~s_drv =
       let t90 = crossing model ~ramp ~tau_hint 0.9 in
       (t50 -. (ramp /. 2.), t90 -. t10))
     rc.taps
+
+(* Ramp-response value and slope at t, sharing the exponentials between
+   the two. The slope is the step response difference over the ramp. *)
+let ramp_point model ~ramp t =
+  if t <= 0. then (0., 0.)
+  else begin
+    let integ_and_step tt =
+      match model with
+      | One_pole tau ->
+        let e = exp (-.tt /. tau) in
+        (tt -. (tau *. (1. -. e)), 1. -. e)
+      | Two_pole { p1; p2; k1; k2 } ->
+        let e1 = exp (p1 *. tt) and e2 = exp (p2 *. tt) in
+        ( tt +. ((k1 /. p1) *. (e1 -. 1.)) +. ((k2 /. p2) *. (e2 -. 1.)),
+          1. +. (k1 *. e1) +. (k2 *. e2) )
+    in
+    let hi, shi = integ_and_step t in
+    let lo, slo =
+      if t <= ramp then (0., 0.) else integ_and_step (t -. ramp)
+    in
+    ((hi -. lo) /. ramp, (shi -. slo) /. ramp)
+  end
+
+(* Same crossing as [crossing] to within ~1e-12 ps, found by safeguarded
+   Newton inside a maintained bracket instead of a fixed-count bisection.
+   [lo0, hi0] must bracket the threshold. The estimated-error stopping
+   rule (Newton step below 1e-12) is certified by the bisection fallback:
+   if Newton cannot shrink its step, the bracket finishes the job. *)
+let crossing_newton model ~ramp ~lo0 ~hi0 threshold =
+  let lo = ref lo0 and hi = ref hi0 in
+  let t = ref (0.5 *. (lo0 +. hi0)) in
+  let result = ref nan in
+  let iter = ref 0 in
+  while Float.is_nan !result && !iter < 50 do
+    incr iter;
+    let v, s = ramp_point model ~ramp !t in
+    if v < threshold then lo := !t else hi := !t;
+    let step = if s > 0. then (threshold -. v) /. s else nan in
+    if (not (Float.is_nan step)) && Float.abs step < 1e-12 then
+      result := !t +. step
+    else begin
+      let nt = !t +. step in
+      t :=
+        if Float.is_nan nt || nt <= !lo || nt >= !hi then
+          0.5 *. (!lo +. !hi)
+        else nt
+    end
+  done;
+  if Float.is_nan !result then begin
+    for _ = 1 to 64 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if fst (ramp_point model ~ramp mid) < threshold then lo := mid
+      else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+  else !result
+
+(* Drop-in replacement for [solve] that agrees with it to well under
+   1e-9 ps per tap but costs an order of magnitude fewer exponentials:
+   one upper bracket is established for the 90 % threshold and shared,
+   the monotone ordering t10 < t50 < t90 turns each crossing into the
+   next one's bracket edge, and the roots are polished by safeguarded
+   Newton. The incremental session uses this for cache misses; the
+   stateless [evaluate] keeps [solve] so its results never move. *)
+let solve_fast (rc : Rcnet.t) ~r_drv ~s_drv =
+  let m1, m2, m3 = moments rc ~r_drv in
+  let ramp = s_drv /. 0.8 in
+  Array.map
+    (fun (i, _) ->
+      let model = fit ~m1:m1.(i) ~m2:m2.(i) ~m3:m3.(i) in
+      let hi = ref (ramp +. (20. *. m1.(i)) +. 1.) in
+      let guard = ref 0 in
+      while fst (ramp_point model ~ramp !hi) < 0.9 && !guard < 60 do
+        hi := !hi *. 2.;
+        incr guard
+      done;
+      let t10 = crossing_newton model ~ramp ~lo0:0. ~hi0:!hi 0.1 in
+      let t50 = crossing_newton model ~ramp ~lo0:t10 ~hi0:!hi 0.5 in
+      let t90 = crossing_newton model ~ramp ~lo0:t50 ~hi0:!hi 0.9 in
+      (t50 -. (ramp /. 2.), t90 -. t10))
+    rc.taps

@@ -12,6 +12,14 @@
     [rc.taps]. *)
 val solve : Rcnet.t -> r_drv:float -> s_drv:float -> (float * float) array
 
+(** Same model and thresholds as {!solve}, agreeing with it to well under
+    1e-9 ps per tap, but finds the crossings by bracketed safeguarded
+    Newton instead of fixed-count bisection — an order of magnitude fewer
+    exponentials per tap. The incremental evaluation session uses this
+    for cache misses; {!solve} stays the reference so the stateless
+    evaluator's results never move. *)
+val solve_fast : Rcnet.t -> r_drv:float -> s_drv:float -> (float * float) array
+
 (** First three moments (ps, ps², ps³) at every rc node, driver resistance
     included. Exposed for tests. *)
 val moments : Rcnet.t -> r_drv:float -> float array * float array * float array

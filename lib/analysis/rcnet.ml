@@ -108,6 +108,31 @@ let stages ?(seg_len = 30_000) tree =
   done;
   List.rev !out
 
+(* 64-bit FNV-1a over the electrical content of a stage: topology (parent
+   pointers), element values (bit patterns of res/cap) and the tap layout
+   (rc indices and kinds, but NOT ctree node ids — the fingerprint must
+   survive tree compaction/renumbering as long as the electricals match). *)
+let fingerprint rc =
+  let open Int64 in
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let mix x = h := mul (logxor !h x) prime in
+  let mix_int i = mix (of_int i) in
+  let mix_float f = mix (bits_of_float f) in
+  mix_int rc.size;
+  for i = 0 to rc.size - 1 do
+    mix_int rc.parent.(i);
+    mix_float rc.res.(i);
+    mix_float rc.cap.(i)
+  done;
+  mix_int (Array.length rc.taps);
+  Array.iter
+    (fun (rc_idx, kind) ->
+      mix_int rc_idx;
+      mix_int (match kind with Tap_sink _ -> 0 | Tap_buffer _ -> 1))
+    rc.taps;
+  !h
+
 let total_cap rc =
   let acc = ref 0. in
   for i = 1 to rc.size - 1 do

@@ -28,6 +28,14 @@ type stage = {
     [seg_len] is the maximum wire-segment length in nm (default 30 µm). *)
 val stages : ?seg_len:int -> Ctree.Tree.t -> stage list
 
+(** Content hash (64-bit FNV-1a) of a stage's electrical identity:
+    topology, element values and tap layout. Ctree node ids carried by the
+    taps are excluded so the fingerprint survives tree compaction. Two
+    stages with equal fingerprints produce identical engine results for
+    the same driver parameters (modulo the astronomically unlikely
+    collision). *)
+val fingerprint : t -> int64
+
 (** Total downstream capacitance of the stage (wires + loads), fF.
     Excludes the driver's own output parasitic. *)
 val total_cap : t -> float

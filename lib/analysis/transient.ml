@@ -6,23 +6,30 @@
    and every step costs two O(n) sweeps. Conductances are in 1/Ω, caps in
    fF, time in ps: i = C dv/dt gives (fF/ps) · V = mA·10⁻³... all terms are
    scaled consistently by expressing capacitance as cap·1e-3 fF/ps units
-   (Ω·fF = 10⁻³ ps). *)
+   (Ω·fF = 10⁻³ ps).
+
+   The driver conductance 1/r_drv appears only in the root's diagonal
+   entry, and the leaf elimination (children before parents) never reads
+   the root diagonal while eliminating. The factorisation below therefore
+   excludes the driver term entirely: the effective root diagonal is
+   reconstructed as [dfact.(0) +. g0] at solve time, which lets one
+   factorisation be shared across arbitrary driver resistances. *)
 
 type factored = {
-  g : float array;      (* edge conductance to parent; g.(0) = 1/r_drv *)
-  dfact : float array;  (* factored diagonal *)
+  g : float array;      (* edge conductance to parent; g.(0) unused (0.) *)
+  dfact : float array;  (* factored diagonal, WITHOUT the driver term at 0 *)
   c_over_h : float array;
+  h : float;            (* the timestep the factorisation assumed *)
 }
 
-let factor (rc : Rcnet.t) ~r_drv ~h =
+let factor ?(step = 0.5) (rc : Rcnet.t) =
   let n = rc.size in
   let g = Array.make n 0. in
-  g.(0) <- 1. /. r_drv;
   for i = 1 to n - 1 do
     (* Zero-length wires can produce 0 Ω segments; clamp for stability. *)
     g.(i) <- 1. /. Float.max rc.res.(i) 1e-6
   done;
-  let c_over_h = Array.map (fun c -> c *. Tech.Units.rc_to_ps /. h) rc.cap in
+  let c_over_h = Array.map (fun c -> c *. Tech.Units.rc_to_ps /. step) rc.cap in
   let dfact = Array.make n 0. in
   for i = 0 to n - 1 do
     dfact.(i) <- c_over_h.(i) +. g.(i)
@@ -36,20 +43,21 @@ let factor (rc : Rcnet.t) ~r_drv ~h =
     let p = rc.parent.(i) in
     dfact.(p) <- dfact.(p) -. (g.(i) *. g.(i) /. dfact.(i))
   done;
-  { g; dfact; c_over_h }
+  { g; dfact; c_over_h; h = step }
 
-(* One implicit step: given v (in place), source voltage vs at t+h. *)
-let step_solve (rc : Rcnet.t) f ~vs ~v ~r =
+(* One implicit step: given v (in place), source voltage vs at t+h, driver
+   conductance g0 = 1/r_drv. *)
+let step_solve (rc : Rcnet.t) f ~g0 ~vs ~v ~r =
   let n = rc.size in
   for i = 0 to n - 1 do
     r.(i) <- f.c_over_h.(i) *. v.(i)
   done;
-  r.(0) <- r.(0) +. (f.g.(0) *. vs);
+  r.(0) <- r.(0) +. (g0 *. vs);
   for i = n - 1 downto 1 do
     let p = rc.parent.(i) in
     r.(p) <- r.(p) +. (f.g.(i) /. f.dfact.(i) *. r.(i))
   done;
-  v.(0) <- r.(0) /. f.dfact.(0);
+  v.(0) <- r.(0) /. (f.dfact.(0) +. g0);
   for i = 1 to n - 1 do
     v.(i) <- (r.(i) +. (f.g.(i) *. v.(rc.parent.(i)))) /. f.dfact.(i)
   done
@@ -58,13 +66,22 @@ let ramp_voltage ~ramp t = if t <= 0. then 0. else if t >= ramp then 1. else t /
 
 let max_steps = 2_000_000
 
-let simulate ?(step = 0.5) (rc : Rcnet.t) ~r_drv ~s_drv ~watch ~on_cross =
+let get_factored ?factored ~step rc =
+  match factored with
+  | Some f ->
+    if f.h <> step then invalid_arg "Transient: factored timestep mismatch";
+    f
+  | None -> factor ~step rc
+
+let simulate ?(step = 0.5) ?factored (rc : Rcnet.t) ~r_drv ~s_drv ~watch
+    ~on_cross =
   (* [watch] : rc node indices to monitor; [on_cross] called with
      (watch_slot, threshold_index, time). Thresholds are 0.1, 0.5, 0.9. *)
   let n = rc.size in
   if n = 0 then ()
   else begin
-    let f = factor rc ~r_drv ~h:step in
+    let f = get_factored ?factored ~step rc in
+    let g0 = 1. /. r_drv in
     let v = Array.make n 0. and r = Array.make n 0. in
     let ramp = s_drv /. 0.8 in
     let nwatch = Array.length watch in
@@ -77,7 +94,7 @@ let simulate ?(step = 0.5) (rc : Rcnet.t) ~r_drv ~s_drv ~watch ~on_cross =
     while !remaining > 0 && !steps < max_steps do
       incr steps;
       let t1 = !t +. step in
-      step_solve rc f ~vs:(ramp_voltage ~ramp t1) ~v ~r;
+      step_solve rc f ~g0 ~vs:(ramp_voltage ~ramp t1) ~v ~r;
       for w = 0 to nwatch - 1 do
         let vw = v.(watch.(w)) in
         for k = 0 to 2 do
@@ -98,11 +115,11 @@ let simulate ?(step = 0.5) (rc : Rcnet.t) ~r_drv ~s_drv ~watch ~on_cross =
     done
   end
 
-let solve ?step (rc : Rcnet.t) ~r_drv ~s_drv =
+let solve ?step ?factored (rc : Rcnet.t) ~r_drv ~s_drv =
   let ntaps = Array.length rc.taps in
   let watch = Array.map fst rc.taps in
   let times = Array.make (ntaps * 3) nan in
-  simulate ?step rc ~r_drv ~s_drv ~watch ~on_cross:(fun w k t ->
+  simulate ?step ?factored rc ~r_drv ~s_drv ~watch ~on_cross:(fun w k t ->
       times.((w * 3) + k) <- t);
   let ramp = s_drv /. 0.8 in
   Array.init ntaps (fun w ->
@@ -112,21 +129,34 @@ let solve ?step (rc : Rcnet.t) ~r_drv ~s_drv =
       else (t50 -. (ramp /. 2.), t90 -. t10))
 
 let probe ?(step = 0.5) (rc : Rcnet.t) ~r_drv ~s_drv ~node ~times =
-  let f = factor rc ~r_drv ~h:step in
+  let f = factor ~step rc in
+  let g0 = 1. /. r_drv in
   let n = rc.size in
   let v = Array.make n 0. and r = Array.make n 0. in
   let ramp = s_drv /. 0.8 in
-  let out = Array.make (Array.length times) 0. in
-  let t_end = Array.fold_left Float.max 0. times in
+  let nt = Array.length times in
+  let out = Array.make nt 0. in
+  (* Visit probe times in ascending order regardless of caller ordering,
+     scattering results back through the sort permutation. *)
+  let order = Array.init nt (fun i -> i) in
+  Array.sort (fun a b -> Float.compare times.(a) times.(b)) order;
+  let t_end = if nt = 0 then 0. else times.(order.(nt - 1)) in
   let t = ref 0. in
-  let idx = ref 0 in
-  while !t < t_end && !idx < Array.length times do
+  let k = ref 0 in
+  while !t < t_end && !k < nt do
     let t1 = !t +. step in
-    step_solve rc f ~vs:(ramp_voltage ~ramp t1) ~v ~r;
-    while !idx < Array.length times && times.(!idx) <= t1 do
-      out.(!idx) <- v.(node);
-      incr idx
+    step_solve rc f ~g0 ~vs:(ramp_voltage ~ramp t1) ~v ~r;
+    while !k < nt && times.(order.(!k)) <= t1 do
+      out.(order.(!k)) <- v.(node);
+      incr k
     done;
     t := t1
+  done;
+  (* Probe times at or past the final simulated step (including duplicates
+     of t_end when step granularity skips them) take the last computed
+     node voltage instead of silently reading 0. *)
+  while !k < nt do
+    out.(order.(!k)) <- v.(node);
+    incr k
   done;
   out

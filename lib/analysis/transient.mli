@@ -7,15 +7,28 @@
     factorisation reused across steps). Tap voltages are monitored and the
     10/50/90 % crossing times recovered by linear interpolation. *)
 
+(** A leaf-elimination factorisation of a stage's RC matrix for a fixed
+    timestep. The driver conductance is deliberately excluded — it only
+    enters the root diagonal, which is reconstructed at solve time — so
+    one factorisation serves every [r_drv] the optimizer tries. *)
+type factored
+
+(** Factor a stage for timestep [step] ps (default 0.5). O(n). *)
+val factor : ?step:float -> Rcnet.t -> factored
+
 (** Per-tap [(delay, slew)] in ps: delay from the driver ramp's 50 % point
     to the tap's 50 % crossing; slew is the 10–90 % interval. Indexed like
-    [rc.taps]. [step] is the timestep in ps (default 0.5). *)
+    [rc.taps]. [step] is the timestep in ps (default 0.5). Passing a
+    [factored] obtained from {!factor} on the same RC and step skips the
+    factorisation sweep. @raise Invalid_argument if the factorisation's
+    timestep disagrees with [step]. *)
 val solve :
-  ?step:float -> Rcnet.t -> r_drv:float -> s_drv:float ->
-  (float * float) array
+  ?step:float -> ?factored:factored -> Rcnet.t -> r_drv:float ->
+  s_drv:float -> (float * float) array
 
 (** Full waveform probe for tests: voltages of a chosen rc node sampled at
-    the given times (which must be ascending). *)
+    the given times. Times may be in any order; probe times beyond the last
+    simulated step return the final node voltage. *)
 val probe :
   ?step:float -> Rcnet.t -> r_drv:float -> s_drv:float -> node:int ->
   times:float array -> float array

@@ -28,7 +28,7 @@ let bottom_sizing_pass config tree ~eval ~correction ~scale ~count =
         if impact > 0. && available > impact
            && slew_impact < 0.5 *. (headrooms.(s) -. 5.)
         then begin
-          nd.Tree.wire_class <- nd.Tree.wire_class - 1;
+          Tree.set_wire_class tree s (nd.Tree.wire_class - 1);
           incr count
         end
       end)

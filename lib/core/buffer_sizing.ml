@@ -9,7 +9,7 @@ type result = {
 
 let scale_buffer tree id f =
   match (Tree.node tree id).Tree.kind with
-  | Tree.Buffer b -> (Tree.node tree id).Tree.kind <- Tree.Buffer (Tech.Composite.scale b f)
+  | Tree.Buffer b -> Tree.set_buffer tree id (Tech.Composite.scale b f)
   | _ -> invalid_arg "Buffer_sizing: not a buffer"
 
 let buffer_depths tree =

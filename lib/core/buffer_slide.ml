@@ -138,9 +138,9 @@ let respace tree ~ceiling =
           take [] !remaining
         in
         if List.length prefix_pts > 2 then Tree.set_route tree id prefix_pts
-        else nd.Tree.geom_len <- polyline_length prefix_pts
+        else Tree.set_geom_len tree id (polyline_length prefix_pts)
       end;
-      nd.Tree.snake <- max 0 (span_elec - nd.Tree.geom_len);
+      Tree.set_snake tree id (max 0 (span_elec - nd.Tree.geom_len));
       consumed := target;
       remaining := suffix;
       parent := id
@@ -150,9 +150,10 @@ let respace tree ~ceiling =
     Tree.reparent tree branch ~new_parent:!parent;
     let bn = Tree.node tree branch in
     if List.length !remaining > 2 then Tree.set_route tree branch !remaining
-    else bn.Tree.geom_len <- polyline_length !remaining;
-    bn.Tree.snake <- max 0 (elec_total - (k * span_elec) - bn.Tree.geom_len);
-    bn.Tree.wire_class <- wire_class;
+    else Tree.set_geom_len tree branch (polyline_length !remaining);
+    Tree.set_snake tree branch
+      (max 0 (elec_total - (k * span_elec) - bn.Tree.geom_len));
+    Tree.set_wire_class tree branch wire_class;
     let tree, _ = Tree.compact tree in
     ( tree,
       {

@@ -15,6 +15,8 @@ type t = {
   multicorner_slacks : bool;
   stage_balancing : bool;
   elmore_prebalance : bool;
+  incremental : bool;
+  evaluator : (Ctree.Tree.t -> Analysis.Evaluator.t) option;
 }
 
 let default =
@@ -35,6 +37,8 @@ let default =
     multicorner_slacks = true;
     stage_balancing = true;
     elmore_prebalance = true;
+    incremental = true;
+    evaluator = None;
   }
 
 let scalability =

@@ -40,6 +40,15 @@ type t = {
       (** run a cheap Elmore-engine snaking equalisation before the first
           accurate evaluation (§III-A: simple analytical models first);
           disable only for ablation studies *)
+  incremental : bool;
+      (** let {!Flow} drive all optimization steps through one
+          {!Analysis.Evaluator.Incremental} session instead of from-scratch
+          evaluations; results are identical, only wall-clock changes *)
+  evaluator : (Ctree.Tree.t -> Analysis.Evaluator.t) option;
+      (** evaluation override used by {!Ivc.evaluate}; [None] falls back
+          to [Evaluator.evaluate ~engine ~seg_len]. Set by {!Flow} to the
+          incremental session's refresh — passes should not set it
+          themselves *)
 }
 
 val default : t

@@ -17,6 +17,9 @@ type trace_entry = {
   t_max : float;
   eval_runs : int;
   seconds : float;
+  cache_hits : int;
+  cache_misses : int;
+  step_seconds : float;
 }
 
 type result = {
@@ -57,15 +60,41 @@ let initial_tree ?(config = Config.default) ~tech ~source ?(obstacles = [])
 let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
   let t0 = Unix.gettimeofday () in
   let runs0 = Evaluator.eval_count () in
-  let evaluate t =
-    Evaluator.evaluate ~engine:config.Config.engine
-      ~seg_len:config.Config.seg_len t
-  in
   let tree, chosen_buf, polarity, repair =
     initial_tree ~config ~tech ~source ~obstacles sinks
   in
+  (* One incremental session drives every CNE of the optimization steps
+     (unless disabled): the session survives IVC attempt/rollback cycles,
+     so stages untouched by a rejected or localised move are answered from
+     cache. [refresh ~tree] rebinds because Buffer_slide.respace returns a
+     rebuilt tree. *)
+  let session =
+    if config.Config.incremental then
+      Some
+        (Evaluator.Incremental.create ~engine:config.Config.engine
+           ~seg_len:config.Config.seg_len tree)
+    else None
+  in
+  let config =
+    match session with
+    | Some s ->
+      { config with
+        Config.evaluator =
+          Some (fun t -> Evaluator.Incremental.refresh ~tree:t s) }
+    | None -> config
+  in
+  let evaluate t = Ivc.evaluate config t in
   let trace = ref [] in
+  let last_t = ref (Unix.gettimeofday ()) in
   let record step (ev : Evaluator.t) =
+    let now = Unix.gettimeofday () in
+    let hits, misses =
+      match session with
+      | Some s ->
+        let st = Evaluator.Incremental.stats s in
+        (st.Evaluator.hits, st.Evaluator.misses)
+      | None -> (0, 0)
+    in
     trace :=
       {
         step;
@@ -73,20 +102,25 @@ let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
         clr = ev.Evaluator.clr;
         t_max = ev.Evaluator.t_max;
         eval_runs = Evaluator.eval_count () - runs0;
-        seconds = Unix.gettimeofday () -. t0;
+        seconds = now -. t0;
+        cache_hits = hits;
+        cache_misses = misses;
+        step_seconds = now -. !last_t;
       }
-      :: !trace
+      :: !trace;
+    last_t := now
   in
   (* Elmore-driven pre-balance (§III-A: simple analytical models first):
      the buffered tree out of the quantised DP can carry large path-delay
      imbalance at scale; Elmore evaluations are near-free, so a snaking
      equalisation under the Elmore engine recovers the bulk before any
-     accurate run is spent. *)
+     accurate run is spent — no session here, it runs a different engine. *)
   if config.Config.elmore_prebalance then begin
     let pre_config =
       { config with
         Config.engine = Analysis.Evaluator.Elmore_model;
-        max_rounds = 30 }
+        max_rounds = 30;
+        evaluator = None }
     in
     let pre_eval =
       Evaluator.evaluate ~engine:Analysis.Evaluator.Elmore_model

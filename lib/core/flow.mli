@@ -20,6 +20,11 @@ type trace_entry = {
   t_max : float;    (** max sink latency, ps *)
   eval_runs : int;  (** cumulative evaluation ("SPICE") runs so far *)
   seconds : float;  (** cumulative wall-clock seconds *)
+  cache_hits : int;
+      (** cumulative incremental-session stage-cache hits (0 when
+          [config.incremental] is false) *)
+  cache_misses : int;  (** cumulative stage solves that ran an engine *)
+  step_seconds : float;  (** wall-clock seconds spent in this step alone *)
 }
 
 type result = {

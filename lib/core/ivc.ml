@@ -22,13 +22,19 @@ let violation_free (ev : Evaluator.t) = Evaluator.ok ev
 let debug =
   match Sys.getenv_opt "CONTANGO_DEBUG" with Some ("1" | "true") -> true | _ -> false
 
+(* Every CNE in the optimization loops funnels through here so that Flow
+   can swap in an incremental session for the whole run. *)
+let evaluate config tree =
+  match config.Config.evaluator with
+  | Some f -> f tree
+  | None ->
+    Evaluator.evaluate ~engine:config.Config.engine
+      ~seg_len:config.Config.seg_len tree
+
 let attempt config tree ~baseline ~objective mutate =
   let snapshot = Tree.copy tree in
   mutate tree;
-  let candidate =
-    Evaluator.evaluate ~engine:config.Config.engine
-      ~seg_len:config.Config.seg_len tree
-  in
+  let candidate = evaluate config tree in
   if debug then
     Format.eprintf "[ivc] base skew=%.3f clr=%.3f sv=%d | cand skew=%.3f clr=%.3f sv=%d capok=%b@."
       baseline.Evaluator.skew baseline.Evaluator.clr

@@ -16,6 +16,12 @@ val better :
   objective -> candidate:Analysis.Evaluator.t -> baseline:Analysis.Evaluator.t ->
   bool
 
+(** The configured evaluation: [config.evaluator] when set (Flow points it
+    at an incremental session), otherwise a from-scratch
+    [Evaluator.evaluate ~engine ~seg_len]. Optimization passes should call
+    this instead of {!Analysis.Evaluator.evaluate} directly. *)
+val evaluate : Config.t -> Ctree.Tree.t -> Analysis.Evaluator.t
+
 (** [attempt config tree ~baseline ~objective mutate] snapshots the tree,
     applies [mutate], re-evaluates, and either keeps the change returning
     [Ok eval] or rolls the tree back returning [Error reason].

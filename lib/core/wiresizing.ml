@@ -29,12 +29,9 @@ let estimate_tws config tree ~baseline =
       List.iter
         (fun id ->
           let nd = Tree.node tree id in
-          nd.Tree.wire_class <- nd.Tree.wire_class - 1)
+          Tree.set_wire_class tree id (nd.Tree.wire_class - 1))
         probes;
-      let after =
-        Evaluator.evaluate ~engine:config.Config.engine
-          ~seg_len:config.Config.seg_len tree
-      in
+      let after = Ivc.evaluate config tree in
       let tws = ref 0. and ratio_sum = ref 0. and ratio_n = ref 0 in
       List.iter
         (fun id ->
@@ -51,9 +48,7 @@ let estimate_tws config tree ~baseline =
             end
           end)
         probes;
-      List.iter
-        (fun (id, wc) -> (Tree.node tree id).Tree.wire_class <- wc)
-        saved;
+      List.iter (fun (id, wc) -> Tree.set_wire_class tree id wc) saved;
       let correction =
         if !ratio_n = 0 then 1.
         else Float.min 4. (Float.max 0.5 (!ratio_sum /. float_of_int !ratio_n))
@@ -88,7 +83,7 @@ let downsizing_pass config tree ~eval ~correction ~scale ~count =
         if impact > 0. && available > impact
            && slew_impact < 0.5 *. (headrooms.(id) -. rslew -. 5.)
         then begin
-          nd.Tree.wire_class <- nd.Tree.wire_class - 1;
+          Tree.set_wire_class tree id (nd.Tree.wire_class - 1);
           incr count;
           (rslack +. impact, rslew +. slew_impact)
         end

@@ -27,12 +27,9 @@ let estimate_twn config tree ~baseline =
     List.iter
       (fun id ->
         let nd = Tree.node tree id in
-        nd.Tree.snake <- nd.Tree.snake + unit)
+        Tree.set_snake tree id (nd.Tree.snake + unit))
       probes;
-    let after =
-      Evaluator.evaluate ~engine:config.Config.engine
-        ~seg_len:config.Config.seg_len tree
-    in
+    let after = Ivc.evaluate config tree in
     let twn = ref 0. and ratio_sum = ref 0. and ratio_n = ref 0 in
     List.iter
       (fun id ->
@@ -47,7 +44,7 @@ let estimate_twn config tree ~baseline =
     List.iter
       (fun id ->
         let nd = Tree.node tree id in
-        nd.Tree.snake <- nd.Tree.snake - unit)
+        Tree.set_snake tree id (nd.Tree.snake - unit))
       probes;
     let correction =
       if !ratio_n = 0 then 1.
@@ -58,7 +55,7 @@ let estimate_twn config tree ~baseline =
 (* Snaking units for one wire given the remaining slack budget [available]
    (ps) and the remaining slew headroom of its subtree (ps). Applies the
    snake; returns (units, delay consumed, slew consumed). *)
-let snake_wire config nd ~available ~factor ~correction ~sens ~headroom =
+let snake_wire config tree nd ~available ~factor ~correction ~sens ~headroom =
   let unit = config.Config.snake_unit in
   let id = nd.Tree.id in
   let dd = correction *. sens.Probes.snake_delay.(id) *. float_of_int unit in
@@ -76,7 +73,7 @@ let snake_wire config nd ~available ~factor ~correction ~sens ~headroom =
     let units = max 0 (min (min units max_units) slew_units) in
     if units = 0 then (0, 0., 0.)
     else begin
-      nd.Tree.snake <- nd.Tree.snake + (units * unit);
+      Tree.set_snake tree id (nd.Tree.snake + (units * unit));
       (units, float_of_int units *. dd, float_of_int units *. ds)
     end
   end
@@ -98,7 +95,7 @@ let topdown_pass config tree ~eval ~correction ~scale ~count ~added =
     let available = slacks.Slack.slow.(id) -. rslack in
     let units, dcons, scons =
       if available > 0. then
-        snake_wire config nd ~available ~factor ~correction ~sens
+        snake_wire config tree nd ~available ~factor ~correction ~sens
           ~headroom:(headrooms.(id) -. rslew)
       else (0, 0., 0.)
     in
@@ -124,7 +121,7 @@ let bottom_pass config tree ~eval ~correction ~scale ~count ~added =
       let available = slacks.Slack.sink_slow.(s) in
       if available > 0. then begin
         let units, _, _ =
-          snake_wire config nd ~available ~factor ~correction ~sens
+          snake_wire config tree nd ~available ~factor ~correction ~sens
             ~headroom:headrooms.(s)
         in
         if units > 0 then begin
@@ -168,8 +165,8 @@ let recovery_pass config tree ~eval ~correction ~scale ~count ~added =
     (fun b () ->
       match (Tree.node tree b).Tree.kind with
       | Tree.Buffer buf ->
-        (Tree.node tree b).Tree.kind <-
-          Tree.Buffer (Tech.Composite.scale buf (1. +. (0.4 *. scale)))
+        Tree.set_buffer tree b
+          (Tech.Composite.scale buf (1. +. (0.4 *. scale)))
       | _ -> ())
     to_upsize;
   topdown_pass config tree ~eval ~correction ~scale ~count ~added

@@ -25,6 +25,7 @@ type t = {
   tech : Tech.t;
   mutable nodes : node array;
   mutable n : int;
+  mutable revision : int;
 }
 
 let dummy_node =
@@ -37,11 +38,13 @@ let create ~tech ~source_pos =
   in
   let nodes = Array.make 64 dummy_node in
   nodes.(0) <- root;
-  { tech; nodes; n = 1 }
+  { tech; nodes; n = 1; revision = 0 }
 
 let tech t = t.tech
 let root _ = 0
 let size t = t.n
+let revision t = t.revision
+let touch t = t.revision <- t.revision + 1
 
 let node t i =
   if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Tree.node: id %d" i);
@@ -94,6 +97,7 @@ let add_node t ~kind ~pos ~parent ?wire_class ?geom_len
   t.nodes.(id) <- nd;
   t.n <- t.n + 1;
   t.nodes.(parent).children <- t.nodes.(parent).children @ [ id ];
+  touch t;
   id
 
 let set_route t id pts =
@@ -106,7 +110,8 @@ let set_route t id pts =
     then invalid_arg "Tree.set_route: endpoints do not match parent/node"
   | _ -> invalid_arg "Tree.set_route: polyline needs at least two points");
   nd.route <- pts;
-  nd.geom_len <- polyline_length pts
+  nd.geom_len <- polyline_length pts;
+  touch t
 
 (* Walk a polyline to the point at arc distance [d]. *)
 let point_on_polyline pts d =
@@ -204,24 +209,42 @@ let split_wire t id ~at =
   (* A two-point remainder is straight or an L with the original bend; keep
      the bend only if the segment is not axis-aligned. *)
   if List.length after <= 2 then nd.bend <- nd.bend;
+  touch t;
   mid_id
 
 let insert_buffer_on_wire t id ~at ~buf =
   let mid = split_wire t id ~at in
   (node t mid).kind <- Buffer buf;
+  touch t;
   mid
 
 let remove_buffer t id =
   let nd = node t id in
   match nd.kind with
-  | Buffer _ -> nd.kind <- Internal
+  | Buffer _ ->
+    nd.kind <- Internal;
+    touch t
   | Source | Internal | Sink _ -> invalid_arg "Tree.remove_buffer: not a buffer"
 
 let set_buffer t id buf =
   let nd = node t id in
   match nd.kind with
-  | Internal | Buffer _ -> nd.kind <- Buffer buf
+  | Internal | Buffer _ ->
+    nd.kind <- Buffer buf;
+    touch t
   | Source | Sink _ -> invalid_arg "Tree.set_buffer: source/sink node"
+
+let set_wire_class t id wc =
+  (node t id).wire_class <- wc;
+  touch t
+
+let set_snake t id snake =
+  (node t id).snake <- snake;
+  touch t
+
+let set_geom_len t id len =
+  (node t id).geom_len <- len;
+  touch t
 
 let collect t pred =
   let acc = ref [] in
@@ -262,7 +285,8 @@ let detach t id =
   if nd.parent < 0 then invalid_arg "Tree.detach: cannot detach the root";
   let pn = t.nodes.(nd.parent) in
   pn.children <- List.filter (fun c -> c <> id) pn.children;
-  nd.parent <- -1
+  nd.parent <- -1;
+  touch t
 
 let reparent t id ~new_parent =
   let nd = node t id in
@@ -272,7 +296,8 @@ let reparent t id ~new_parent =
   np.children <- np.children @ [ id ];
   nd.route <- [];
   nd.snake <- 0;
-  nd.geom_len <- Point.dist np.pos nd.pos
+  nd.geom_len <- Point.dist np.pos nd.pos;
+  touch t
 
 let compact t =
   let order = topo_order t in
@@ -290,7 +315,7 @@ let compact t =
         })
       order
   in
-  ({ tech = t.tech; nodes; n = Array.length nodes }, remap)
+  ({ tech = t.tech; nodes; n = Array.length nodes; revision = t.revision }, remap)
 
 let inversions t =
   let inv = Array.make t.n 0 in
@@ -320,8 +345,9 @@ let copy t =
   let padded =
     if Array.length nodes = 0 then [| dummy_node |] else nodes
   in
-  { tech = t.tech; nodes = padded; n = t.n }
+  { tech = t.tech; nodes = padded; n = t.n; revision = t.revision }
 
 let assign ~dst ~src =
   dst.nodes <- Array.map copy_node (Array.sub src.nodes 0 src.n);
-  dst.n <- src.n
+  dst.n <- src.n;
+  touch dst

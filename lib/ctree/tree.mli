@@ -48,6 +48,15 @@ val root : t -> int
 val size : t -> int
 val node : t -> int -> node
 
+(** Monotone counter bumped by every mutating operation. Incremental
+    evaluators use it as a cheap "has anything changed?" fast path; the
+    content-hash cache keeps them correct even for direct field writes
+    that bypass the counter. *)
+val revision : t -> int
+
+(** Manually bump {!revision} after mutating node fields directly. *)
+val touch : t -> unit
+
 (** Electrical length of the parent wire: geometric plus snake. *)
 val wire_len : node -> int
 
@@ -87,6 +96,17 @@ val remove_buffer : t -> int -> unit
 
 (** Place a buffer directly at an existing internal node. *)
 val set_buffer : t -> int -> Tech.Composite.t -> unit
+
+(** Set the wire class of a node's parent wire (bumps {!revision}). *)
+val set_wire_class : t -> int -> int -> unit
+
+(** Set the snaked extra length of a node's parent wire, nm (bumps
+    {!revision}). *)
+val set_snake : t -> int -> int -> unit
+
+(** Set the routed geometric length of a node's parent wire, nm (bumps
+    {!revision}). *)
+val set_geom_len : t -> int -> int -> unit
 
 val sinks : t -> int array
 val buffer_ids : t -> int array
