@@ -320,7 +320,88 @@ let time_runs reps f =
   done;
   (Unix.gettimeofday () -. t0) /. float_of_int reps
 
+(* Accuracy-vs-speed sweep of the adaptive transient kernel on ZST-built
+   (skew-balanced, unbuffered) stages: the realistic clock-stage shape,
+   where threshold crossings cluster into a few narrow bands and the
+   multi-rate march can skip the long flat stretches. The fixed-fine-step
+   march is the accuracy reference. *)
+let transient_kernel_rows () =
+  section "Transient kernel — fixed-step vs adaptive multi-rate";
+  let open Suite.Report.Json in
+  let module Tr = Analysis.Transient in
+  let sizes = if quick then [ 200; 1_000 ] else [ 200; 500; 1_000 ] in
+  List.map
+    (fun n ->
+      let b = Suite.Gen_ti.generate n in
+      let tech = b.Suite.Format_io.tech in
+      let tree =
+        Dme.Zst.build ~tech ~source:b.Suite.Format_io.source
+          b.Suite.Format_io.sinks
+      in
+      let stage = List.hd (Analysis.Rcnet.stages ~seg_len:60_000 tree) in
+      let rc = stage.Analysis.Rcnet.rc in
+      let r_drv = tech.Tech.source_r and s_drv = tech.Tech.source_slew in
+      let ws = Tr.workspace () and fcache = Tr.Fcache.create () in
+      let solve mode = Tr.solve ~mode ~fcache ~ws rc ~r_drv ~s_drv in
+      let reps = if n >= 1_000 then 3 else 5 in
+      let reference = solve Tr.Fixed in
+      let t_fixed = time_runs reps (fun () -> ignore (solve Tr.Fixed)) in
+      Printf.printf "  %6d sinks (%6d nodes) %-11s %9.2f ms  (reference)\n%!"
+        n rc.Analysis.Rcnet.size "fixed" (t_fixed *. 1e3);
+      let mode_row (label, mode) =
+        let res = solve mode in
+        let dmax = ref 0. and smax = ref 0. in
+        Array.iteri
+          (fun k (d, s) ->
+            let d0, s0 = reference.(k) in
+            if Float.is_finite d0 || Float.is_finite d then begin
+              dmax := Float.max !dmax (Float.abs (d -. d0));
+              smax := Float.max !smax (Float.abs (s -. s0))
+            end)
+          res;
+        let t = time_runs reps (fun () -> ignore (solve mode)) in
+        let m =
+          Tr.simulate ~mode ~fcache ~ws rc ~r_drv ~s_drv
+            ~watch:(Array.map fst rc.Analysis.Rcnet.taps)
+            ~on_cross:(fun _ _ _ -> ())
+        in
+        Printf.printf
+          "  %6d sinks %-21s %9.2f ms (%5.2fx)  err d %7.4f / s %7.4f ps  \
+           solves %d of %d\n%!"
+          n label (t *. 1e3) (t_fixed /. t) !dmax !smax m.Tr.solves
+          m.Tr.fine_equiv;
+        Obj
+          [
+            ("mode", Str label);
+            ("ms", Num (t *. 1e3));
+            ("speedup", Num (t_fixed /. t));
+            ("max_delay_err_ps", Num !dmax);
+            ("max_slew_err_ps", Num !smax);
+            ("solves", Num (float_of_int m.Tr.solves));
+            ("fine_equiv", Num (float_of_int m.Tr.fine_equiv));
+            ("truncated", Num (if m.Tr.truncated then 1. else 0.));
+          ]
+      in
+      let mode_rows =
+        List.map mode_row
+          [
+            ("adaptive8", Tr.Adaptive { mult = 8 });
+            ("adaptive16", Tr.Adaptive { mult = 16 });
+            ("adaptive32", Tr.Adaptive { mult = 32 });
+            ("auto (default)", Tr.Auto { max_mult = 32 });
+          ]
+      in
+      Obj
+        [
+          ("sinks", Num (float_of_int n));
+          ("nodes", Num (float_of_int rc.Analysis.Rcnet.size));
+          ("fixed_ms", Num (t_fixed *. 1e3));
+          ("modes", List mode_rows);
+        ])
+    sizes
+
 let evaluator_bench () =
+  let transient_rows = transient_kernel_rows () in
   section "Evaluator kernels — from-scratch vs incremental vs parallel";
   let open Suite.Report.Json in
   let config = Core.Config.scalability in
@@ -417,6 +498,7 @@ let evaluator_bench () =
   let json =
     Obj
       [
+        ("transient_kernel", List transient_rows);
         ("kernels", List kernel_rows);
         ("flow",
          Obj
@@ -433,6 +515,12 @@ let evaluator_bench () =
               Num (float_of_int last_trace.Core.Flow.cache_hits));
              ("cache_misses",
               Num (float_of_int last_trace.Core.Flow.cache_misses));
+             ("kernel_solves",
+              Num (float_of_int last_trace.Core.Flow.kernel_solves));
+             ("kernel_saved",
+              Num (float_of_int last_trace.Core.Flow.kernel_saved));
+             ("kernel_truncations",
+              Num (float_of_int last_trace.Core.Flow.kernel_truncations));
            ]);
       ]
   in

@@ -32,11 +32,11 @@ let counter = ref 0
 let eval_count () = !counter
 let reset_eval_count () = counter := 0
 
-let solve_stage engine rc ~r_drv ~s_drv =
+let solve_stage ?step ?mode ?fcache ?fp ?ws engine rc ~r_drv ~s_drv =
   match engine with
   | Elmore_model -> Elmore.solve rc ~r_drv ~s_drv
   | Arnoldi -> Moments.solve rc ~r_drv ~s_drv
-  | Spice -> Transient.solve rc ~r_drv ~s_drv
+  | Spice -> Transient.solve ?step ?mode ?fcache ?fp ?ws rc ~r_drv ~s_drv
 
 (* The inverter's internal switching ramp: mostly a device property, with a
    mild dependence on how slowly the input arrives. Quantised to a ¼ ps
@@ -113,9 +113,12 @@ let propagate_with ~solve tree stages (corner : Tech.Corner.t)
   { corner; transition = source_transition; latency; slew;
     worst_slew = !worst_slew; worst_slew_node = !worst_node }
 
-let propagate engine tree stages corner source_transition =
+let propagate ?step ?mode ?fcache ?fps ?ws engine tree stages corner
+    source_transition =
   propagate_with
-    ~solve:(fun _ rc ~r_drv ~s_drv -> solve_stage engine rc ~r_drv ~s_drv)
+    ~solve:(fun si rc ~r_drv ~s_drv ->
+      let fp = Option.map (fun a -> a.(si)) fps in
+      solve_stage ?step ?mode ?fcache ?fp ?ws engine rc ~r_drv ~s_drv)
     tree stages corner source_transition
 
 let spread latencies sinks =
@@ -196,15 +199,31 @@ let summarize tree runs =
     stats;
   }
 
-let evaluate ?(engine = Spice) ?seg_len tree =
+let evaluate ?(engine = Spice) ?seg_len ?transient_step ?transient_mode tree =
   incr counter;
   let tech = Tree.tech tree in
   let stages = Array.of_list (Rcnet.stages ?seg_len tree) in
   let corners = tech.Tech.corners in
+  (* Scoped to this call: one workspace and one factorisation cache let
+     the corner × transition runs share per-stage factorisations (and,
+     in the adaptive modes, the coarse-rate factors) without allocating
+     state arrays per stage. Numerics are unchanged — a cached factor is
+     bit-identical to a recomputed one. *)
+  let fcache, ws, fps =
+    match engine with
+    | Spice ->
+      ( Some (Transient.Fcache.create ()),
+        Some (Transient.workspace ()),
+        Some (Array.map (fun st -> Rcnet.fingerprint st.Rcnet.rc) stages) )
+    | Arnoldi | Elmore_model -> (None, None, None)
+  in
   let runs =
     List.concat_map
       (fun corner ->
-        List.map (propagate engine tree stages corner) [ Rise; Fall ])
+        List.map
+          (propagate ?step:transient_step ?mode:transient_mode ?fcache ?fps
+             ?ws engine tree stages corner)
+          [ Rise; Fall ])
       corners
   in
   summarize tree runs
@@ -229,6 +248,7 @@ type cache_stats = {
   refreshes : int;
   fast_refreshes : int;
   entries : int;
+  factored_entries : int;
 }
 
 module Incremental = struct
@@ -242,6 +262,12 @@ module Incremental = struct
     s_corner : Tech.Corner.t;
     s_transition : transition;
     cache : (Int64.t * float * float, (float * float) array) Hashtbl.t;
+    (* Per-slot kernel state: workspaces are mutable scratch and the
+       factorisation cache fills lazily (the adaptive kernel factors its
+       coarse rates on first use), so each domain-parallel pass owns its
+       own pair — no locks, no races, scheduling-independent results. *)
+    s_fcache : Transient.Fcache.t;
+    s_ws : Transient.workspace;
     mutable hits : int;
     mutable misses : int;
   }
@@ -250,12 +276,15 @@ module Incremental = struct
     engine : engine;
     seg_len : int option;
     parallel : bool;
+    tstep : float option;
+    tmode : Transient.mode option;
     mutable tree : Tree.t;
     slots : slot array;
-    (* Backward-Euler factorisations by stage fingerprint; r_drv enters
-       only at solve time, so one entry serves every driver resistance
-       and both transitions. Read-only during the parallel phase. *)
-    factored : (Int64.t, Transient.factored) Hashtbl.t;
+    (* Probe calls come from the session's own thread (tests, debugging),
+       never from the parallel phase; they get a dedicated cache and
+       workspace so they cannot disturb the slots'. *)
+    probe_fcache : Transient.Fcache.t;
+    probe_ws : Transient.workspace;
     mutable last : t option;
     mutable last_revision : int;
     mutable last_tree : Tree.t;
@@ -263,12 +292,13 @@ module Incremental = struct
     mutable fast_refreshes : int;
   }
 
-  (* Reset-on-overflow caps: generous enough that a full Flow run never
-     trips them, small enough to bound memory on pathological inputs. *)
+  (* Reset-on-overflow cap: generous enough that a full Flow run never
+     trips it, small enough to bound memory on pathological inputs.
+     (Factorisation caches carry their own cap; see Transient.Fcache.) *)
   let cache_cap = 200_000
-  let factored_cap = 4_096
 
-  let create ?(engine = Spice) ?seg_len ?(parallel = true) tree =
+  let create ?(engine = Spice) ?seg_len ?(parallel = true) ?transient_step
+      ?transient_mode tree =
     let corners = (Tree.tech tree).Tech.corners in
     let slots =
       Array.of_list
@@ -277,12 +307,16 @@ module Incremental = struct
              List.map
                (fun tr ->
                  { s_corner = corner; s_transition = tr;
-                   cache = Hashtbl.create 1024; hits = 0; misses = 0 })
+                   cache = Hashtbl.create 1024;
+                   s_fcache = Transient.Fcache.create ();
+                   s_ws = Transient.workspace (); hits = 0; misses = 0 })
                [ Rise; Fall ])
            corners)
     in
-    { engine; seg_len; parallel; tree; slots;
-      factored = Hashtbl.create 256; last = None; last_revision = -1;
+    { engine; seg_len; parallel; tstep = transient_step;
+      tmode = transient_mode; tree; slots;
+      probe_fcache = Transient.Fcache.create ();
+      probe_ws = Transient.workspace (); last = None; last_revision = -1;
       last_tree = tree; refreshes = 0; fast_refreshes = 0 }
 
   let run_slot session stages fps slot =
@@ -297,9 +331,9 @@ module Incremental = struct
         let r =
           match session.engine with
           | Spice ->
-            Transient.solve
-              ?factored:(Hashtbl.find_opt session.factored fps.(si))
-              rc ~r_drv ~s_drv
+            Transient.solve ?step:session.tstep ?mode:session.tmode
+              ~fcache:slot.s_fcache ~fp:fps.(si) ~ws:slot.s_ws rc ~r_drv
+              ~s_drv
           | Arnoldi ->
             (* Newton-polished crossings: same roots as [Moments.solve]
                to ~1e-12 ps at a fraction of the cost (see moments.mli). *)
@@ -316,18 +350,6 @@ module Incremental = struct
     let tree = session.tree in
     let stages = Array.of_list (Rcnet.stages ?seg_len:session.seg_len tree) in
     let fps = Array.map (fun st -> Rcnet.fingerprint st.Rcnet.rc) stages in
-    (* Pre-factor Spice stages sequentially so the table is read-only while
-       domains run. *)
-    if session.engine = Spice then begin
-      if Hashtbl.length session.factored >= factored_cap then
-        Hashtbl.reset session.factored;
-      Array.iteri
-        (fun i st ->
-          if not (Hashtbl.mem session.factored fps.(i)) then
-            Hashtbl.add session.factored fps.(i)
-              (Transient.factor st.Rcnet.rc))
-        stages
-    end;
     let runs =
       if session.parallel && Array.length session.slots > 1 then
         Domain_pool.map (Domain_pool.global ())
@@ -353,23 +375,34 @@ module Incremental = struct
       session.last_tree <- session.tree;
       res
 
+  let probe session rc ~r_drv ~s_drv ~node ~times =
+    Transient.probe ?step:session.tstep ~fcache:session.probe_fcache
+      ~ws:session.probe_ws rc ~r_drv ~s_drv ~node ~times
+
   let stats session =
     let hits = Array.fold_left (fun a s -> a + s.hits) 0 session.slots in
     let misses = Array.fold_left (fun a s -> a + s.misses) 0 session.slots in
     let entries =
       Array.fold_left (fun a s -> a + Hashtbl.length s.cache) 0 session.slots
     in
+    let factored_entries =
+      Transient.Fcache.length session.probe_fcache
+      + Array.fold_left
+          (fun a s -> a + Transient.Fcache.length s.s_fcache)
+          0 session.slots
+    in
     { hits; misses; refreshes = session.refreshes;
-      fast_refreshes = session.fast_refreshes; entries }
+      fast_refreshes = session.fast_refreshes; entries; factored_entries }
 
   let invalidate session =
     Array.iter
       (fun s ->
         Hashtbl.reset s.cache;
+        Transient.Fcache.clear s.s_fcache;
         s.hits <- 0;
         s.misses <- 0)
       session.slots;
-    Hashtbl.reset session.factored;
+    Transient.Fcache.clear session.probe_fcache;
     session.last <- None;
     session.last_revision <- -1
 end

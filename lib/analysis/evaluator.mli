@@ -48,7 +48,13 @@ type t = {
   stats : Ctree.Stats.t;
 }
 
-val evaluate : ?engine:engine -> ?seg_len:int -> Ctree.Tree.t -> t
+(** [transient_step]/[transient_mode] tune the [Spice] engine's
+    backward-Euler kernel (fine timestep in ps and stepping controller —
+    see {!Transient.mode}); both default to the kernel's own defaults and
+    are ignored by the other engines. *)
+val evaluate :
+  ?engine:engine -> ?seg_len:int -> ?transient_step:float ->
+  ?transient_mode:Transient.mode -> Ctree.Tree.t -> t
 
 (** The nominal-corner run for a source transition. *)
 val nominal_run : t -> transition -> run
@@ -67,6 +73,8 @@ type cache_stats = {
   refreshes : int;       (** total {!Incremental.refresh} calls *)
   fast_refreshes : int;  (** refreshes short-circuited by the revision memo *)
   entries : int;         (** live cached stage results across all slots *)
+  factored_entries : int;
+      (** live backward-Euler factorisations across all per-slot caches *)
 }
 
 (** Session-based incremental evaluation.
@@ -89,16 +97,25 @@ module Incremental : sig
   type session
 
   (** [create tree] prepares a session; no evaluation happens yet.
-      [engine]/[seg_len] default like {!evaluate}. *)
+      [engine]/[seg_len]/[transient_step]/[transient_mode] default like
+      {!evaluate}. *)
   val create :
-    ?engine:engine -> ?seg_len:int -> ?parallel:bool -> Ctree.Tree.t ->
-    session
+    ?engine:engine -> ?seg_len:int -> ?parallel:bool ->
+    ?transient_step:float -> ?transient_mode:Transient.mode ->
+    Ctree.Tree.t -> session
 
   (** Re-evaluate the session's tree, reusing every cached stage that
       still matches. [?tree] rebinds the session to a replacement tree
       (e.g. after {!Ctree.Tree.compact}); caches carry over because keys
       are content-derived, not id-derived. Counts as one evaluator run. *)
   val refresh : ?tree:Ctree.Tree.t -> session -> t
+
+  (** Waveform probe through the session's factorisation cache and
+      workspace (see {!Transient.probe}); uses the session's
+      [transient_step]. Call from the session's thread only. *)
+  val probe :
+    session -> Rcnet.t -> r_drv:float -> s_drv:float -> node:int ->
+    times:float array -> float array
 
   val stats : session -> cache_stats
 

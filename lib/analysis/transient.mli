@@ -1,11 +1,23 @@
 (** Backward-Euler transient simulation of a driver stage — the
-    ngSPICE/HSPICE substitute.
+    ngSPICE/HSPICE substitute — with an adaptive multi-rate stepping
+    controller.
 
     The stage's RC tree is driven through the Thevenin resistance [r_drv]
     by a saturated 0→1 ramp with 10–90 % slew [s_drv]. Each timestep solves
     the tree-structured linear system exactly in O(n) (one leaf-elimination
     factorisation reused across steps). Tap voltages are monitored and the
-    10/50/90 % crossing times recovered by linear interpolation. *)
+    10/50/90 % crossing times recovered by linear interpolation.
+
+    In the adaptive modes the kernel fine-steps only through the driver
+    ramp and the narrow windows that bracket a watched threshold crossing;
+    everything in between is covered by a trio of coarse backward-Euler
+    marches (steps [mult·h], [mult·h/2], [mult·h/4]) whose states are
+    extrapolated in the step size down to the fine step at every coarse
+    boundary (quadratic Richardson, residual [O(mult³h³/τ²)]). A
+    bracketed window is rewound to its extrapolated entry state and
+    re-integrated at the fine step, so reported latencies and slews track
+    the fixed-fine-step reference within ≤ 0.05 ps (see
+    doc/EXTENDING.md, "Transient kernel"). *)
 
 (** A leaf-elimination factorisation of a stage's RC matrix for a fixed
     timestep. The driver conductance is deliberately excluded — it only
@@ -16,19 +28,104 @@ type factored
 (** Factor a stage for timestep [step] ps (default 0.5). O(n). *)
 val factor : ?step:float -> Rcnet.t -> factored
 
+(** Reusable, growable scratch buffers (node-voltage states, residuals,
+    frontier bookkeeping). A workspace may be reused across stages and
+    calls of any size — arrays grow on demand and are fully re-initialised
+    by each call, so results never depend on what ran before. Not
+    thread-safe: use one workspace per domain. *)
+type workspace
+
+val workspace : unit -> workspace
+
+(** Per-(stage, step) factorisation cache keyed by {!Rcnet.fingerprint}.
+    The backward-Euler factor depends on the timestep, so each rate of the
+    multi-rate kernel gets its own entry. Bounded: the table is reset when
+    [cap] entries (default 4096) are exceeded. Not thread-safe: use one
+    cache per domain. *)
+module Fcache : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+
+  (** [get c rc ~step] returns the cached factorisation for [rc] at
+      [step], computing and storing it on a miss. [fp] supplies a
+      precomputed fingerprint of [rc] (callers that already hashed the
+      stage avoid a second O(n) pass). *)
+  val get : t -> ?fp:int64 -> Rcnet.t -> step:float -> factored
+
+  val length : t -> int
+  val clear : t -> unit
+end
+
+(** Stepping controller.
+
+    - [Fixed]: the classic single-rate march at [step]; the accuracy
+      reference.
+    - [Adaptive { mult }]: coarse step [mult·step] (mult is rounded down
+      to even; values < 2 mean [Fixed]).
+    - [Auto { max_mult }]: pick [mult] per stage from its time constants
+      (the smallest watched first moment, an Elmore/dominant-pole
+      estimate), capped at [max_mult]. Stages too stiff to profit fall
+      back to [Fixed]. *)
+type mode =
+  | Fixed
+  | Adaptive of { mult : int }
+  | Auto of { max_mult : int }
+
+val default_step : float
+
+(** [Auto { max_mult = 32 }] — the default for {!solve} and {!simulate}. *)
+val default_mode : mode
+
+(** What one {!simulate} march did. [solves] counts linear-system solves
+    actually performed (fine + coarse); [fine_equiv] is what a [Fixed]
+    march over the same span would have taken, so [fine_equiv - solves]
+    is the saving. [truncated] is set when the march hit its step budget
+    with crossings still pending — the corresponding results are reported
+    as [infinity] by {!solve} and are genuinely unknown rather than
+    merely slow. *)
+type march = { solves : int; fine_equiv : int; truncated : bool }
+
+(** Cumulative cross-call kernel counters (atomic, safe to read from any
+    domain). [total_saved] may be slightly negative on pathological
+    inputs where the coarse overhead outweighs the skipped steps. *)
+type counters = {
+  total_solves : int;
+  total_saved : int;
+  total_truncations : int;
+}
+
+val counters : unit -> counters
+val reset_counters : unit -> unit
+
+(** Run the march, reporting each 10/50/90 % crossing of a watched node
+    through [on_cross (watch_slot, threshold_index, time)]. [factored]
+    must match [step] (within 1e-9 relative — steps composed
+    arithmetically are accepted); coarse-rate factorisations are taken
+    from [fcache] when given, recomputed otherwise. [max_steps] bounds
+    the march in fine-step equivalents (default 2,000,000).
+    @raise Invalid_argument if the factorisation's timestep genuinely
+    disagrees with [step]. *)
+val simulate :
+  ?step:float -> ?mode:mode -> ?factored:factored -> ?fcache:Fcache.t ->
+  ?fp:int64 -> ?ws:workspace -> ?max_steps:int -> Rcnet.t ->
+  r_drv:float -> s_drv:float -> watch:int array ->
+  on_cross:(int -> int -> float -> unit) -> march
+
 (** Per-tap [(delay, slew)] in ps: delay from the driver ramp's 50 % point
     to the tap's 50 % crossing; slew is the 10–90 % interval. Indexed like
-    [rc.taps]. [step] is the timestep in ps (default 0.5). Passing a
-    [factored] obtained from {!factor} on the same RC and step skips the
-    factorisation sweep. @raise Invalid_argument if the factorisation's
-    timestep disagrees with [step]. *)
+    [rc.taps]. Taps whose march truncated are [(infinity, infinity)]. *)
 val solve :
-  ?step:float -> ?factored:factored -> Rcnet.t -> r_drv:float ->
-  s_drv:float -> (float * float) array
+  ?step:float -> ?mode:mode -> ?factored:factored -> ?fcache:Fcache.t ->
+  ?fp:int64 -> ?ws:workspace -> Rcnet.t -> r_drv:float -> s_drv:float ->
+  (float * float) array
 
 (** Full waveform probe for tests: voltages of a chosen rc node sampled at
-    the given times. Times may be in any order; probe times beyond the last
-    simulated step return the final node voltage. *)
+    the given times, always at the fixed fine rate. Times may be in any
+    order; probe times beyond the last simulated step return the final
+    node voltage. Passing [factored]/[fcache] reuses factorisations like
+    {!solve}. *)
 val probe :
-  ?step:float -> Rcnet.t -> r_drv:float -> s_drv:float -> node:int ->
+  ?step:float -> ?factored:factored -> ?fcache:Fcache.t -> ?fp:int64 ->
+  ?ws:workspace -> Rcnet.t -> r_drv:float -> s_drv:float -> node:int ->
   times:float array -> float array

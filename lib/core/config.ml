@@ -1,6 +1,8 @@
 type t = {
   engine : Analysis.Evaluator.engine;
   seg_len : int;
+  transient_step : float;
+  transient_mode : Analysis.Transient.mode;
   gamma : float;
   vg_step : int;
   vg_buckets : int option;
@@ -23,6 +25,8 @@ let default =
   {
     engine = Analysis.Evaluator.Spice;
     seg_len = 30_000;
+    transient_step = Analysis.Transient.default_step;
+    transient_mode = Analysis.Transient.default_mode;
     gamma = 0.10;
     vg_step = 100_000;
     vg_buckets = Some 48;

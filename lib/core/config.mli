@@ -7,6 +7,14 @@ type t = {
   engine : Analysis.Evaluator.engine;
       (** evaluation engine for every CNE (default [Spice]) *)
   seg_len : int;       (** RC segmentation granularity, nm *)
+  transient_step : float;
+      (** [Spice] engine fine timestep, ps (default
+          {!Analysis.Transient.default_step}) *)
+  transient_mode : Analysis.Transient.mode;
+      (** [Spice] engine stepping controller (default
+          {!Analysis.Transient.default_mode}: per-stage auto-rated
+          multi-rate marching; [Fixed] recovers the single-rate
+          reference march) *)
   gamma : float;       (** power reserve kept for post-insertion steps *)
   vg_step : int;       (** buffer candidate spacing for insertion, nm *)
   vg_buckets : int option;

@@ -20,6 +20,9 @@ type trace_entry = {
   cache_hits : int;
   cache_misses : int;
   step_seconds : float;
+  kernel_solves : int;
+  kernel_saved : int;
+  kernel_truncations : int;
 }
 
 type result = {
@@ -60,6 +63,7 @@ let initial_tree ?(config = Config.default) ~tech ~source ?(obstacles = [])
 let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
   let t0 = Unix.gettimeofday () in
   let runs0 = Evaluator.eval_count () in
+  let kc0 = Analysis.Transient.counters () in
   let tree, chosen_buf, polarity, repair =
     initial_tree ~config ~tech ~source ~obstacles sinks
   in
@@ -72,7 +76,9 @@ let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
     if config.Config.incremental then
       Some
         (Evaluator.Incremental.create ~engine:config.Config.engine
-           ~seg_len:config.Config.seg_len tree)
+           ~seg_len:config.Config.seg_len
+           ~transient_step:config.Config.transient_step
+           ~transient_mode:config.Config.transient_mode tree)
     else None
   in
   let config =
@@ -95,6 +101,7 @@ let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
         (st.Evaluator.hits, st.Evaluator.misses)
       | None -> (0, 0)
     in
+    let kc = Analysis.Transient.counters () in
     trace :=
       {
         step;
@@ -106,6 +113,15 @@ let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
         cache_hits = hits;
         cache_misses = misses;
         step_seconds = now -. !last_t;
+        kernel_solves =
+          kc.Analysis.Transient.total_solves
+          - kc0.Analysis.Transient.total_solves;
+        kernel_saved =
+          kc.Analysis.Transient.total_saved
+          - kc0.Analysis.Transient.total_saved;
+        kernel_truncations =
+          kc.Analysis.Transient.total_truncations
+          - kc0.Analysis.Transient.total_truncations;
       }
       :: !trace;
     last_t := now

@@ -25,6 +25,15 @@ type trace_entry = {
           [config.incremental] is false) *)
   cache_misses : int;  (** cumulative stage solves that ran an engine *)
   step_seconds : float;  (** wall-clock seconds spent in this step alone *)
+  kernel_solves : int;
+      (** cumulative transient-kernel linear solves since flow start
+          (fine + coarse; see {!Analysis.Transient.counters}) *)
+  kernel_saved : int;
+      (** cumulative fine-step-equivalents the adaptive stepping skipped;
+          0 under [Transient.Fixed] or non-[Spice] engines *)
+  kernel_truncations : int;
+      (** marches that hit their step budget with crossings pending —
+          the stages behind any [infinity] latencies *)
 }
 
 type result = {

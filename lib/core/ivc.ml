@@ -29,7 +29,9 @@ let evaluate config tree =
   | Some f -> f tree
   | None ->
     Evaluator.evaluate ~engine:config.Config.engine
-      ~seg_len:config.Config.seg_len tree
+      ~seg_len:config.Config.seg_len
+      ~transient_step:config.Config.transient_step
+      ~transient_mode:config.Config.transient_mode tree
 
 let attempt config tree ~baseline ~objective mutate =
   let snapshot = Tree.copy tree in
