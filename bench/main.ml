@@ -472,15 +472,19 @@ let evaluator_bench () =
     seed_run.Core.Flow.eval_runs;
   Printf.printf "  running ti%d with the incremental session...\n%!" flow_n;
   let inc_run = run_flow true in
-  let last_trace =
-    List.nth inc_run.Core.Flow.trace
-      (List.length inc_run.Core.Flow.trace - 1)
+  (* Trace counters are per-step deltas; session totals are their sum. *)
+  let sum f =
+    List.fold_left (fun acc e -> acc + f e) 0 inc_run.Core.Flow.trace
   in
+  let cache_hits = sum (fun e -> e.Core.Flow.cache_hits) in
+  let cache_misses = sum (fun e -> e.Core.Flow.cache_misses) in
+  let kernel_solves = sum (fun e -> e.Core.Flow.kernel_solves) in
+  let kernel_saved = sum (fun e -> e.Core.Flow.kernel_saved) in
+  let kernel_truncations = sum (fun e -> e.Core.Flow.kernel_truncations) in
   Printf.printf
     "    %.1f s, skew %.3f ps, %d evals, cache %d hits / %d misses\n%!"
     inc_run.Core.Flow.seconds inc_run.Core.Flow.final.Ev.skew
-    inc_run.Core.Flow.eval_runs last_trace.Core.Flow.cache_hits
-    last_trace.Core.Flow.cache_misses;
+    inc_run.Core.Flow.eval_runs cache_hits cache_misses;
   List.iter2
     (fun (s : Core.Flow.trace_entry) (i : Core.Flow.trace_entry) ->
       Printf.printf "      %-8s seed %5.2f s | incremental %5.2f s\n"
@@ -511,16 +515,11 @@ let evaluator_bench () =
              ("seed_skew_ps", Num seed_run.Core.Flow.final.Ev.skew);
              ("incremental_skew_ps", Num inc_run.Core.Flow.final.Ev.skew);
              ("eval_runs", Num (float_of_int inc_run.Core.Flow.eval_runs));
-             ("cache_hits",
-              Num (float_of_int last_trace.Core.Flow.cache_hits));
-             ("cache_misses",
-              Num (float_of_int last_trace.Core.Flow.cache_misses));
-             ("kernel_solves",
-              Num (float_of_int last_trace.Core.Flow.kernel_solves));
-             ("kernel_saved",
-              Num (float_of_int last_trace.Core.Flow.kernel_saved));
-             ("kernel_truncations",
-              Num (float_of_int last_trace.Core.Flow.kernel_truncations));
+             ("cache_hits", Num (float_of_int cache_hits));
+             ("cache_misses", Num (float_of_int cache_misses));
+             ("kernel_solves", Num (float_of_int kernel_solves));
+             ("kernel_saved", Num (float_of_int kernel_saved));
+             ("kernel_truncations", Num (float_of_int kernel_truncations));
            ]);
       ]
   in

@@ -2,6 +2,7 @@
 
      contango generate <name|ti:N> -o bench.cts
      contango run bench.cts [--engine spice|arnoldi] [--svg out.svg]
+     contango suite SPEC... [--timeout S] [--jobs N] [--baseline golden.json]
      contango eval bench.cts            (baseline greedy-CTS, for comparison)
      contango svg bench.cts -o tree.svg (initial tree only, slack-coloured)
 *)
@@ -23,24 +24,16 @@ let engine_conv =
   in
   Arg.conv (parse, print)
 
-let load_bench spec =
-  if Sys.file_exists spec then Suite.Format_io.read_file spec
-  else if List.mem spec Suite.Gen_ispd.names then Suite.Gen_ispd.generate spec
-  else
-    match String.index_opt spec ':' with
-    | Some i when String.sub spec 0 i = "ti" ->
-      Suite.Gen_ti.generate
-        (int_of_string (String.sub spec (i + 1) (String.length spec - i - 1)))
-    | _ ->
-      failwith
-        (Printf.sprintf
-           "%s: not a file, an ISPD'09 name (%s) or ti:<sinks>" spec
-           (String.concat ", " Suite.Gen_ispd.names))
+let load_bench = Suite.Runner.load_bench
 
-let config_of ~engine =
-  match engine with
-  | Some e -> { Core.Config.default with Core.Config.engine = e }
-  | None -> Core.Config.default
+let config_of ?second_pass_skew ~engine () =
+  let c = Core.Config.default in
+  let c =
+    match engine with Some e -> { c with Core.Config.engine = e } | None -> c
+  in
+  match second_pass_skew with
+  | Some s -> { c with Core.Config.second_pass_skew_ps = s }
+  | None -> c
 
 let write_slack_svg tree eval path =
   let slacks = Core.Slack.combined tree eval in
@@ -83,9 +76,16 @@ let run_cmd =
          & info [ "engine" ] ~doc:"Evaluation engine (spice, arnoldi, elmore).")
   in
   let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE") in
-  let run spec engine svg =
+  let second_pass_skew =
+    Arg.(value & opt (some float) None
+         & info [ "second-pass-skew" ] ~docv:"PS"
+             ~doc:"Nominal skew (ps) above which TWSZ/TWSN run a second \
+                   pass. Use inf to disable the second pass, a negative \
+                   value to force it.")
+  in
+  let run spec engine second_pass_skew svg =
     let b = load_bench spec in
-    let config = config_of ~engine in
+    let config = config_of ?second_pass_skew ~engine () in
     let r =
       Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
         ~source:b.Suite.Format_io.source ~obstacles:b.Suite.Format_io.obstacles
@@ -130,7 +130,95 @@ let run_cmd =
     Option.iter (write_slack_svg r.Core.Flow.tree r.Core.Flow.final) svg
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the full Contango flow on a benchmark.")
-    Term.(const run $ spec $ engine $ svg)
+    Term.(const run $ spec $ engine $ second_pass_skew $ svg)
+
+(* suite *)
+let suite_cmd =
+  let specs =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"SPEC"
+             ~doc:"Instances to run: a .cts file, an ISPD'09 name, ti:<sinks>, \
+                   grid:<n>, or the fault-injection specs fail:<name> and \
+                   hang:<name>.")
+  in
+  let out_dir =
+    Arg.(value & opt string "bench_out"
+         & info [ "o"; "out-dir" ] ~docv:"DIR"
+             ~doc:"Directory for suite.json and per-instance trace files.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-instance wall-clock budget; an instance past it is \
+                   recorded as timed out.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Worker domains running instances in parallel (0 = \
+                   sequential; default: one per spare core).")
+  in
+  let engine =
+    Arg.(value & opt (some engine_conv) None
+         & info [ "engine" ] ~doc:"Evaluation engine (spice, arnoldi, elmore).")
+  in
+  let second_pass_skew =
+    Arg.(value & opt (some float) None
+         & info [ "second-pass-skew" ] ~docv:"PS"
+             ~doc:"Nominal skew (ps) above which TWSZ/TWSN run a second pass.")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Golden suite.json to diff against; regressions beyond the \
+                   tolerance fail the run.")
+  in
+  let tol_skew =
+    Arg.(value & opt float Suite.Runner.default_tolerance.Suite.Runner.tol_skew_ps
+         & info [ "tol-skew" ] ~docv:"PS"
+             ~doc:"Skew regression tolerance for --baseline.")
+  in
+  let tol_clr =
+    Arg.(value & opt float Suite.Runner.default_tolerance.Suite.Runner.tol_clr_ps
+         & info [ "tol-clr" ] ~docv:"PS"
+             ~doc:"CLR regression tolerance for --baseline.")
+  in
+  let run specs out_dir timeout jobs engine second_pass_skew baseline tol_skew
+      tol_clr =
+    let specs = List.map Suite.Runner.spec_of_string specs in
+    let config = config_of ?second_pass_skew ~engine () in
+    let result = Suite.Runner.run ~out_dir ?timeout ?jobs ~config specs in
+    print_string (Suite.Runner.summary_table result);
+    let path = Suite.Runner.write_suite_json result in
+    Printf.printf "wrote %s\n" path;
+    let regressions =
+      match baseline with
+      | None -> []
+      | Some file -> (
+        match Suite.Runner.load_baseline file with
+        | Error msg ->
+          Printf.eprintf "cannot read baseline %s: %s\n" file msg;
+          exit 2
+        | Ok golden ->
+          let tolerance =
+            { Suite.Runner.tol_skew_ps = tol_skew; tol_clr_ps = tol_clr }
+          in
+          Suite.Runner.diff_baseline ~tolerance ~golden result)
+    in
+    List.iter
+      (fun r ->
+        Printf.printf "REGRESSION %s: %s\n" r.Suite.Runner.reg_name
+          r.Suite.Runner.what)
+      regressions;
+    print_endline (Suite.Runner.summary_line result);
+    if Suite.Runner.failures result <> [] || regressions <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Run a benchmark suite with fault isolation, per-step JSONL \
+             telemetry and optional golden-baseline regression gating.")
+    Term.(const run $ specs $ out_dir $ timeout $ jobs $ engine
+          $ second_pass_skew $ baseline $ tol_skew $ tol_clr)
 
 (* eval (baseline) *)
 let eval_cmd =
@@ -140,7 +228,7 @@ let eval_cmd =
   in
   let run spec engine =
     let b = load_bench spec in
-    let config = config_of ~engine in
+    let config = config_of ~engine () in
     let r = Suite.Baseline.run ~config b in
     Format.printf "greedy-CTS baseline on %s: %a@." b.Suite.Format_io.name
       Ev.pp_summary r.Suite.Baseline.eval
@@ -276,4 +364,5 @@ let () =
       ~doc:"Integrated optimization of SoC clock networks (DATE'10 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ generate_cmd; run_cmd; eval_cmd; svg_cmd; netlist_cmd; mc_cmd; mesh_cmd ]))
+       [ generate_cmd; run_cmd; suite_cmd; eval_cmd; svg_cmd; netlist_cmd;
+         mc_cmd; mesh_cmd ]))

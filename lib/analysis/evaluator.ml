@@ -28,9 +28,11 @@ type t = {
   stats : Ctree.Stats.t;
 }
 
-let counter = ref 0
-let eval_count () = !counter
-let reset_eval_count () = counter := 0
+(* Atomic: the suite runner fans whole flows out over domains, so the
+   process-wide run count is bumped from several domains at once. *)
+let counter = Atomic.make 0
+let eval_count () = Atomic.get counter
+let reset_eval_count () = Atomic.set counter 0
 
 let solve_stage ?step ?mode ?fcache ?fp ?ws engine rc ~r_drv ~s_drv =
   match engine with
@@ -200,7 +202,7 @@ let summarize tree runs =
   }
 
 let evaluate ?(engine = Spice) ?seg_len ?transient_step ?transient_mode tree =
-  incr counter;
+  Atomic.incr counter;
   let tech = Tree.tech tree in
   let stages = Array.of_list (Rcnet.stages ?seg_len tree) in
   let corners = tech.Tech.corners in
@@ -361,7 +363,7 @@ module Incremental = struct
 
   let refresh ?tree session =
     (match tree with Some t -> session.tree <- t | None -> ());
-    incr counter;
+    Atomic.incr counter;
     session.refreshes <- session.refreshes + 1;
     let rev = Tree.revision session.tree in
     match session.last with

@@ -59,6 +59,12 @@ val evaluate :
 (** The nominal-corner run for a source transition. *)
 val nominal_run : t -> transition -> run
 
+(** Corner identity is the {e name}, never physical equality: callers
+    legitimately rebuild corner records (variation sweeps, serialisation
+    round-trips), so matching runs to corners with [==] silently drops
+    them. Every consumer of {!run.corner} should compare through this. *)
+val corner_equal : Tech.Corner.t -> Tech.Corner.t -> bool
+
 (** [ok t] — no slew violations and within the capacitance budget. *)
 val ok : t -> bool
 

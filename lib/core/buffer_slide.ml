@@ -87,7 +87,7 @@ let respace tree ~ceiling =
       { trunk_buffers_before = 0; trunk_buffers_after = 0; trunk_length = 0 } )
   else begin
     let tree = Tree.copy tree in
-    let branch = List.nth chain (List.length chain - 1) in
+    let branch = Listx.last ~what:"Buffer_slide: trunk chain" chain in
     let composite =
       match (Tree.node tree (List.hd buffers)).Tree.kind with
       | Tree.Buffer b -> b

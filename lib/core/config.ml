@@ -13,6 +13,8 @@ type t = {
   slew_margin : float;
   damping : float;
   max_rounds : int;
+  second_pass_skew_ps : float;
+  deadline : float option;
   branch_levels : int;
   multicorner_slacks : bool;
   stage_balancing : bool;
@@ -37,6 +39,8 @@ let default =
     slew_margin = 0.35;
     damping = 0.85;
     max_rounds = 150;
+    second_pass_skew_ps = 5.;
+    deadline = None;
     branch_levels = 4;
     multicorner_slacks = true;
     stage_balancing = true;

@@ -36,6 +36,17 @@ type t = {
           degrade slews); analogous to the γ power reserve *)
   damping : float;     (** fraction of estimated slack consumed per round *)
   max_rounds : int;    (** iteration cap per optimization *)
+  second_pass_skew_ps : float;
+      (** when the skew after BWSN is still above this band, {!Flow} runs
+          the wire-optimization sequence (TWSZ→TWSN→BWSN) once more — the
+          paper's "further optimization … at the cost of increased
+          runtime" (§I). [infinity] disables the second pass, a negative
+          value forces it *)
+  deadline : float option;
+      (** absolute wall-clock deadline ([Unix.gettimeofday] scale) checked
+          cooperatively before every {!Ivc.evaluate}; past it, evaluation
+          raises {!Ivc.Deadline_exceeded}. [None] (the default) never
+          times out. Set by the suite runner's per-instance budget *)
   branch_levels : int;
       (** tree levels after the first branch sized by capacitance
           borrowing (§IV-I suggests 4–5) *)

@@ -60,7 +60,8 @@ let initial_tree ?(config = Config.default) ~tech ~source ?(obstacles = [])
   (inserted.Insertion.tree, inserted.Insertion.buf, polarity,
    inserted.Insertion.repair)
 
-let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
+let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
+    sinks =
   let t0 = Unix.gettimeofday () in
   let runs0 = Evaluator.eval_count () in
   let kc0 = Analysis.Transient.counters () in
@@ -92,6 +93,13 @@ let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
   let evaluate t = Ivc.evaluate config t in
   let trace = ref [] in
   let last_t = ref (Unix.gettimeofday ()) in
+  (* Every counter in a trace entry is a per-step delta against the value
+     seen at the previous [record] (cache stats used to be cumulative
+     session totals while the kernel counters were deltas — mixed
+     semantics that made the streamed telemetry inconsistent). [eval_runs]
+     and [seconds] stay cumulative, as documented. *)
+  let last_hits = ref 0 and last_misses = ref 0 in
+  let last_kc = ref kc0 in
   let record step (ev : Evaluator.t) =
     let now = Unix.gettimeofday () in
     let hits, misses =
@@ -102,7 +110,7 @@ let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
       | None -> (0, 0)
     in
     let kc = Analysis.Transient.counters () in
-    trace :=
+    let entry =
       {
         step;
         skew = ev.Evaluator.skew;
@@ -110,21 +118,26 @@ let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
         t_max = ev.Evaluator.t_max;
         eval_runs = Evaluator.eval_count () - runs0;
         seconds = now -. t0;
-        cache_hits = hits;
-        cache_misses = misses;
+        cache_hits = hits - !last_hits;
+        cache_misses = misses - !last_misses;
         step_seconds = now -. !last_t;
         kernel_solves =
           kc.Analysis.Transient.total_solves
-          - kc0.Analysis.Transient.total_solves;
+          - !last_kc.Analysis.Transient.total_solves;
         kernel_saved =
           kc.Analysis.Transient.total_saved
-          - kc0.Analysis.Transient.total_saved;
+          - !last_kc.Analysis.Transient.total_saved;
         kernel_truncations =
           kc.Analysis.Transient.total_truncations
-          - kc0.Analysis.Transient.total_truncations;
+          - !last_kc.Analysis.Transient.total_truncations;
       }
-      :: !trace;
-    last_t := now
+    in
+    trace := entry :: !trace;
+    last_t := now;
+    last_hits := hits;
+    last_misses := misses;
+    last_kc := kc;
+    match on_step with Some f -> f entry | None -> ()
   in
   (* Elmore-driven pre-balance (§III-A: simple analytical models first):
      the buffered tree out of the quantised DP can carry large path-delay
@@ -180,7 +193,8 @@ let run ?(config = Config.default) ~tech ~source ?(obstacles = []) sinks =
      sequence once more — larger instances sometimes converge in two
      passes. *)
   let final_eval =
-    if bl.Bottomlevel.eval.Evaluator.skew > 5. then begin
+    if bl.Bottomlevel.eval.Evaluator.skew > config.Config.second_pass_skew_ps
+    then begin
       let wsz2 = Wiresizing.run config tree ~baseline:bl.Bottomlevel.eval in
       let wsn2 = Wiresnaking.run config tree ~baseline:wsz2.Wiresizing.eval in
       let bl2 = Bottomlevel.run config tree ~baseline:wsn2.Wiresnaking.eval in

@@ -21,19 +21,25 @@ type trace_entry = {
   eval_runs : int;  (** cumulative evaluation ("SPICE") runs so far *)
   seconds : float;  (** cumulative wall-clock seconds *)
   cache_hits : int;
-      (** cumulative incremental-session stage-cache hits (0 when
-          [config.incremental] is false) *)
-  cache_misses : int;  (** cumulative stage solves that ran an engine *)
+      (** incremental-session stage-cache hits during this step alone (0
+          when [config.incremental] is false) — like every other counter
+          below, a per-step delta, so streamed telemetry lines sum to the
+          session totals *)
+  cache_misses : int;
+      (** stage solves that ran an engine during this step alone *)
   step_seconds : float;  (** wall-clock seconds spent in this step alone *)
   kernel_solves : int;
-      (** cumulative transient-kernel linear solves since flow start
-          (fine + coarse; see {!Analysis.Transient.counters}) *)
+      (** transient-kernel linear solves during this step (fine + coarse;
+          see {!Analysis.Transient.counters}). The kernel counters are
+          process-global: when several flows run concurrently (the suite
+          runner's parallel instances) the per-step split between them is
+          approximate *)
   kernel_saved : int;
-      (** cumulative fine-step-equivalents the adaptive stepping skipped;
+      (** fine-step-equivalents the adaptive stepping skipped this step;
           0 under [Transient.Fixed] or non-[Spice] engines *)
   kernel_truncations : int;
-      (** marches that hit their step budget with crossings pending —
-          the stages behind any [infinity] latencies *)
+      (** marches that hit their step budget with crossings pending this
+          step — the stages behind any [infinity] latencies *)
 }
 
 type result = {
@@ -47,10 +53,20 @@ type result = {
   seconds : float;
 }
 
-(** Run the whole methodology. [obstacles] defaults to none. *)
+(** Run the whole methodology. [obstacles] defaults to none.
+
+    [on_step] is invoked with each trace entry the moment the step
+    finishes (INITIAL, TBSZ, …), before the next step starts — the hook
+    behind the suite runner's streamed JSONL telemetry, so a run that
+    later crashes or times out has still reported every completed step.
+    An exception raised by [on_step] aborts the run and propagates.
+
+    @raise Ivc.Deadline_exceeded between evaluations once
+    [config.deadline] has passed. *)
 val run :
-  ?config:Config.t -> tech:Tech.t -> source:Geometry.Point.t ->
-  ?obstacles:Geometry.Rect.t list -> Dme.Zst.sink_spec array -> result
+  ?config:Config.t -> ?on_step:(trace_entry -> unit) -> tech:Tech.t ->
+  source:Geometry.Point.t -> ?obstacles:Geometry.Rect.t list ->
+  Dme.Zst.sink_spec array -> result
 
 (** Stages before any optimization — ZST, repair, insertion, polarity —
     exposed so baselines and experiments can start from the same initial

@@ -22,9 +22,17 @@ let violation_free (ev : Evaluator.t) = Evaluator.ok ev
 let debug =
   match Sys.getenv_opt "CONTANGO_DEBUG" with Some ("1" | "true") -> true | _ -> false
 
+exception Deadline_exceeded
+
 (* Every CNE in the optimization loops funnels through here so that Flow
-   can swap in an incremental session for the whole run. *)
+   can swap in an incremental session for the whole run — which also makes
+   it the natural cooperative cancellation point: a run that overruns its
+   wall-clock budget is caught before the next evaluation rather than
+   killed mid-solve, so the tree and telemetry stay consistent. *)
 let evaluate config tree =
+  (match config.Config.deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Deadline_exceeded
+  | _ -> ());
   match config.Config.evaluator with
   | Some f -> f tree
   | None ->

@@ -16,10 +16,17 @@ val better :
   objective -> candidate:Analysis.Evaluator.t -> baseline:Analysis.Evaluator.t ->
   bool
 
+(** Raised by {!evaluate} when [config.deadline] has passed — the
+    cooperative cancellation used by the suite runner's per-instance
+    wall-clock budget. The tree is left exactly as the last completed
+    evaluation saw it. *)
+exception Deadline_exceeded
+
 (** The configured evaluation: [config.evaluator] when set (Flow points it
     at an incremental session), otherwise a from-scratch
     [Evaluator.evaluate ~engine ~seg_len]. Optimization passes should call
-    this instead of {!Analysis.Evaluator.evaluate} directly. *)
+    this instead of {!Analysis.Evaluator.evaluate} directly.
+    @raise Deadline_exceeded when [config.deadline] is in the past. *)
 val evaluate : Config.t -> Ctree.Tree.t -> Analysis.Evaluator.t
 
 (** [attempt config tree ~baseline ~objective mutate] snapshots the tree,

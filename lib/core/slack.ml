@@ -51,9 +51,13 @@ let of_run tree (run : Evaluator.run) =
 
 let combined ?(multicorner = false) tree (ev : Evaluator.t) =
   let nominal = (List.hd ev.Evaluator.runs).Evaluator.corner in
+  (* Corners compare by name: runs whose corner record was rebuilt (e.g.
+     round-tripped through a variation sweep) are still nominal runs —
+     physical equality silently dropped them here. *)
   let runs =
     List.filter
-      (fun (r : Evaluator.run) -> multicorner || r.Evaluator.corner == nominal)
+      (fun (r : Evaluator.run) ->
+        multicorner || Evaluator.corner_equal r.Evaluator.corner nominal)
       ev.Evaluator.runs
   in
   match List.map (of_run tree) runs with

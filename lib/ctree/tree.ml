@@ -105,7 +105,7 @@ let set_route t id pts =
   if nd.parent < 0 then invalid_arg "Tree.set_route: root has no wire";
   (match pts with
   | first :: _ :: _ ->
-    let last = List.nth pts (List.length pts - 1) in
+    let last = Listx.last ~what:"Tree.set_route: polyline" pts in
     if not (Point.equal first (node t nd.parent).pos && Point.equal last nd.pos)
     then invalid_arg "Tree.set_route: endpoints do not match parent/node"
   | _ -> invalid_arg "Tree.set_route: polyline needs at least two points");

@@ -48,7 +48,7 @@ let check tree =
             (Point.dist parent_pos nd.Tree.pos)
       | route ->
         let first = List.hd route in
-        let last = List.nth route (List.length route - 1) in
+        let last = Listx.last ~what:"Validate: route" route in
         if not (Point.equal first parent_pos) then
           err "node %d: route does not start at parent position" i;
         if not (Point.equal last nd.Tree.pos) then

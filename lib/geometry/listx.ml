@@ -1,0 +1,3 @@
+let last ~what = function
+  | [] -> invalid_arg (what ^ ": empty list")
+  | x :: xs -> List.fold_left (fun _ y -> y) x xs

@@ -1,0 +1,7 @@
+(** Total list accessors missing from the stdlib. *)
+
+(** [last ~what xs] — the final element of [xs], found in a single
+    traversal (the [List.nth xs (List.length xs - 1)] idiom walks the list
+    twice and raises a bare [Failure]/[Invalid_argument]).
+    @raise Invalid_argument naming [what] when [xs] is empty. *)
+val last : what:string -> 'a list -> 'a

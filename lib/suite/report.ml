@@ -104,6 +104,200 @@ module Json = struct
     emit buf 0 v;
     Buffer.add_char buf '\n';
     Buffer.contents buf
+
+  (* Single-line form, no trailing newline: one JSONL telemetry record per
+     call. *)
+  let rec emit_compact buf v =
+    match v with
+    | Null | Bool _ | Num _ | Str _ -> emit buf 0 v
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit_compact buf item)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_compact_string v =
+    let buf = Buffer.create 256 in
+    emit_compact buf v;
+    Buffer.contents buf
+
+  (* Recursive-descent parser for everything this module emits (and plain
+     JSON generally). Kept dependency-free on purpose: the golden-baseline
+     diff has to read back committed suite.json files. *)
+  exception Parse of string
+
+  let of_string text =
+    let n = String.length text in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some text.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && text.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let word w v =
+      let l = String.length w in
+      if !pos + l <= n && String.sub text !pos l = w then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" w)
+    in
+    let add_utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = text.[!pos] in
+        advance ();
+        if c = '"' then Buffer.contents buf
+        else if c = '\\' then begin
+          (if !pos >= n then fail "unterminated escape";
+           let e = text.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub text !pos 4 in
+             pos := !pos + 4;
+             (match int_of_string_opt ("0x" ^ hex) with
+             | Some cp -> add_utf8 buf cp
+             | None -> fail "bad \\u escape")
+           | _ -> fail "unknown escape");
+          go ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match text.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub text start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> word "true" (Bool true)
+      | Some 'f' -> word "false" (Bool false)
+      | Some 'n' -> word "null" Null
+      | Some ('-' | '0' .. '9') -> Num (parse_number ())
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    match parse_value () with
+    | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+      else Ok v
+    | exception Parse msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_float = function
+    | Some (Num f) -> Some f
+    | _ -> None
+
+  let to_str = function
+    | Some (Str s) -> Some s
+    | _ -> None
+
+  let to_list = function
+    | Some (List l) -> l
+    | _ -> []
 end
 
 (* -------- Published numbers (DATE'10 paper) -------- *)

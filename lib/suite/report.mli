@@ -23,6 +23,22 @@ module Json : sig
   (** Pretty-printed with two-space indentation. NaN/infinite numbers are
       emitted as [null] (JSON has no representation for them). *)
   val to_string : t -> string
+
+  (** Single-line rendering, no trailing newline — one JSONL record. *)
+  val to_compact_string : t -> string
+
+  (** Parse a complete JSON document (accepts everything {!to_string} and
+      {!to_compact_string} emit). Errors carry the byte offset. *)
+  val of_string : string -> (t, string) result
+
+  (** [member k v] — field [k] of an [Obj], [None] otherwise. *)
+  val member : string -> t -> t option
+
+  val to_float : t option -> float option
+  val to_str : t option -> string option
+
+  (** Items of a [List]; [[]] for anything else. *)
+  val to_list : t option -> t list
 end
 
 (** Paper Table III: per-step (INITIAL, TBSZ, TWSZ, TWSN, BWSN) CLR and

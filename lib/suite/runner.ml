@@ -1,0 +1,428 @@
+module Flow = Core.Flow
+module Ev = Analysis.Evaluator
+module Json = Report.Json
+
+type spec =
+  | Bench of Format_io.t
+  | Inject_fail of string
+  | Inject_hang of string
+
+let load_bench s =
+  if Sys.file_exists s then Format_io.read_file s
+  else if List.mem s Gen_ispd.names then Gen_ispd.generate s
+  else
+    let prefixed p =
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = p ->
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      | _ -> None
+    in
+    match (prefixed "ti", prefixed "grid") with
+    | Some n, _ -> Gen_ti.generate n
+    | _, Some n -> Gen_grid.generate ~n ()
+    | None, None ->
+      failwith
+        (Printf.sprintf
+           "%s: not a file, an ISPD'09 name (%s), ti:<sinks> or grid:<n>" s
+           (String.concat ", " Gen_ispd.names))
+
+let spec_of_string s =
+  let prefixed p =
+    let pl = String.length p in
+    if String.length s > pl && String.sub s 0 pl = p then
+      Some (String.sub s pl (String.length s - pl))
+    else None
+  in
+  match (prefixed "fail:", prefixed "hang:") with
+  | Some name, _ -> Inject_fail name
+  | _, Some name -> Inject_hang name
+  | None, None -> Bench (load_bench s)
+
+type reason = Crashed | Timed_out
+
+type completed = {
+  skew_ps : float;
+  clr_ps : float;
+  t_max_ps : float;
+  cap_pct : float;
+  buffers : int;
+  eval_runs : int;
+}
+
+type status =
+  | Completed of completed
+  | Failed of { reason : reason; detail : string }
+
+type instance_report = {
+  name : string;
+  sinks : int;
+  status : status;
+  seconds : float;
+  steps : Core.Flow.trace_entry list;
+  trace_path : string;
+}
+
+type t = {
+  reports : instance_report list;
+  seconds : float;
+  out_dir : string;
+}
+
+let failures r =
+  List.filter
+    (fun i -> match i.status with Failed _ -> true | Completed _ -> false)
+    r.reports
+
+let spec_name = function
+  | Bench b -> b.Format_io.name
+  | Inject_fail n | Inject_hang n -> n
+
+let spec_sinks = function
+  | Bench b -> Array.length b.Format_io.sinks
+  | Inject_fail _ | Inject_hang _ -> 0
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    name
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSONL telemetry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let step_json (e : Flow.trace_entry) =
+  Json.Obj
+    [
+      ("step", Json.Str (Flow.step_name e.Flow.step));
+      ("skew_ps", Json.Num e.Flow.skew);
+      ("clr_ps", Json.Num e.Flow.clr);
+      ("t_max_ps", Json.Num e.Flow.t_max);
+      ("eval_runs", Json.Num (float_of_int e.Flow.eval_runs));
+      ("seconds", Json.Num e.Flow.seconds);
+      ("step_seconds", Json.Num e.Flow.step_seconds);
+      ("cache_hits", Json.Num (float_of_int e.Flow.cache_hits));
+      ("cache_misses", Json.Num (float_of_int e.Flow.cache_misses));
+      ("kernel_solves", Json.Num (float_of_int e.Flow.kernel_solves));
+      ("kernel_saved", Json.Num (float_of_int e.Flow.kernel_saved));
+      ("kernel_truncations", Json.Num (float_of_int e.Flow.kernel_truncations));
+    ]
+
+let trace_line ~name e =
+  match step_json e with
+  | Json.Obj fields -> Json.Obj (("bench", Json.Str name) :: fields)
+  | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* Per-instance execution with fault isolation                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_one ~timeout ~config (spec, trace_path) =
+  let name = spec_name spec in
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) timeout in
+  let steps = ref [] in
+  let oc = open_out trace_path in
+  let finish status =
+    {
+      name;
+      sinks = spec_sinks spec;
+      status;
+      seconds = Unix.gettimeofday () -. t0;
+      steps = List.rev !steps;
+      trace_path;
+    }
+  in
+  let timed_out () =
+    Failed
+      {
+        reason = Timed_out;
+        detail =
+          Printf.sprintf "exceeded the %gs wall-clock budget"
+            (Option.value timeout ~default:nan);
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      match spec with
+      | Inject_fail _ ->
+        (* Through the same handler as a real crash, so tests exercise the
+           exact production path. *)
+        (try failwith "injected failure" with
+        | Failure _ as e ->
+          finish
+            (Failed { reason = Crashed; detail = Printexc.to_string e }))
+      | Inject_hang _ -> (
+        (* A "never converges" instance: only the cooperative deadline can
+           end it, exactly like a real flow stuck in its optimization
+           loops. *)
+        match deadline with
+        | None ->
+          finish
+            (Failed
+               {
+                 reason = Crashed;
+                 detail = "hang instance requires a per-instance timeout";
+               })
+        | Some d ->
+          let rec spin () =
+            if Unix.gettimeofday () > d then raise Core.Ivc.Deadline_exceeded
+            else begin
+              Unix.sleepf 0.005;
+              spin ()
+            end
+          in
+          (try spin () with Core.Ivc.Deadline_exceeded -> ());
+          finish (timed_out ()))
+      | Bench b -> (
+        let config = { config with Core.Config.deadline } in
+        let on_step e =
+          steps := e :: !steps;
+          output_string oc (Json.to_compact_string (trace_line ~name e));
+          output_char oc '\n';
+          (* Flushed per line so a later crash loses no telemetry. *)
+          flush oc
+        in
+        try
+          let r =
+            Flow.run ~config ~on_step ~tech:b.Format_io.tech
+              ~source:b.Format_io.source ~obstacles:b.Format_io.obstacles
+              b.Format_io.sinks
+          in
+          let final = r.Flow.final in
+          let stats = final.Ev.stats in
+          let cap_limit = b.Format_io.tech.Tech.cap_limit in
+          finish
+            (Completed
+               {
+                 skew_ps = final.Ev.skew;
+                 clr_ps = final.Ev.clr;
+                 t_max_ps = final.Ev.t_max;
+                 cap_pct =
+                   (if cap_limit = infinity then nan
+                    else 100. *. stats.Ctree.Stats.total_cap /. cap_limit);
+                 buffers = stats.Ctree.Stats.buffer_count;
+                 eval_runs = r.Flow.eval_runs;
+               })
+        with
+        | Core.Ivc.Deadline_exceeded -> finish (timed_out ())
+        | e ->
+          finish (Failed { reason = Crashed; detail = Printexc.to_string e })))
+
+let run ?(out_dir = "bench_out") ?timeout ?jobs ?(config = Core.Config.default)
+    specs =
+  mkdir_p out_dir;
+  let t0 = Unix.gettimeofday () in
+  (* Unique trace paths even when the same benchmark appears twice. *)
+  let seen = Hashtbl.create 8 in
+  let jobs_arr =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           let base = sanitize (spec_name spec) in
+           let count =
+             match Hashtbl.find_opt seen base with Some c -> c + 1 | None -> 1
+           in
+           Hashtbl.replace seen base count;
+           let file =
+             if count = 1 then base ^ ".trace.jsonl"
+             else Printf.sprintf "%s~%d.trace.jsonl" base count
+           in
+           (spec, Filename.concat out_dir file))
+         specs)
+  in
+  let pool = Analysis.Domain_pool.create ?size:jobs () in
+  let reports =
+    Fun.protect
+      ~finally:(fun () -> Analysis.Domain_pool.shutdown pool)
+      (fun () ->
+        Analysis.Domain_pool.map pool (run_one ~timeout ~config) jobs_arr)
+  in
+  { reports = Array.to_list reports; seconds = Unix.gettimeofday () -. t0;
+    out_dir }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let status_word = function
+  | Completed _ -> "completed"
+  | Failed { reason = Crashed; _ } -> "crashed"
+  | Failed { reason = Timed_out; _ } -> "timed_out"
+
+let summary_table result =
+  let rows =
+    List.map
+      (fun r ->
+        let skew, clr =
+          match r.status with
+          | Completed c -> (Report.fmt ~decimals:2 c.skew_ps,
+                            Report.fmt ~decimals:2 c.clr_ps)
+          | Failed _ -> ("-", "-")
+        in
+        let paper_clr =
+          match List.assoc_opt r.name Report.paper_table4 with
+          | Some (Some (clr, _, _) :: _) -> Report.fmt ~decimals:2 clr
+          | _ -> "-"
+        in
+        [ r.name; string_of_int r.sinks; status_word r.status; skew; clr;
+          paper_clr; Report.fmt ~decimals:1 r.seconds ])
+      result.reports
+  in
+  Report.table
+    ~title:
+      "Suite — measured vs paper (paper CLR = Table IV Contango, ISPD'09 \
+       benchmarks only)"
+    ~header:[ "bench"; "sinks"; "status"; "skew ps"; "CLR ps"; "CLR(p)"; "s" ]
+    rows
+
+let instance_json r =
+  let base =
+    [
+      ("name", Json.Str r.name);
+      ("sinks", Json.Num (float_of_int r.sinks));
+      ("status", Json.Str (status_word r.status));
+      ("seconds", Json.Num r.seconds);
+    ]
+  in
+  let outcome =
+    match r.status with
+    | Completed c ->
+      [
+        ("skew_ps", Json.Num c.skew_ps);
+        ("clr_ps", Json.Num c.clr_ps);
+        ("t_max_ps", Json.Num c.t_max_ps);
+        ("cap_pct", Json.Num c.cap_pct);
+        ("buffers", Json.Num (float_of_int c.buffers));
+        ("eval_runs", Json.Num (float_of_int c.eval_runs));
+      ]
+    | Failed { detail; _ } -> [ ("detail", Json.Str detail) ]
+  in
+  let steps = [ ("steps", Json.List (List.map step_json r.steps)) ] in
+  let trace = [ ("trace_file", Json.Str (Filename.basename r.trace_path)) ] in
+  Json.Obj (base @ outcome @ steps @ trace)
+
+let to_json result =
+  let completed =
+    List.length result.reports - List.length (failures result)
+  in
+  Json.Obj
+    [
+      ("suite",
+       Json.Obj
+         [
+           ("seconds", Json.Num result.seconds);
+           ("instances", Json.Num (float_of_int (List.length result.reports)));
+           ("completed", Json.Num (float_of_int completed));
+           ("failed",
+            Json.Num (float_of_int (List.length (failures result))));
+         ]);
+      ("instances", Json.List (List.map instance_json result.reports));
+    ]
+
+let write_suite_json result =
+  let path = Filename.concat result.out_dir "suite.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string (to_json result)));
+  path
+
+let summary_line result =
+  let total = List.length result.reports in
+  let failed = failures result in
+  let failure_words =
+    List.map
+      (fun r ->
+        Printf.sprintf "%s (%s)" r.name
+          (match r.status with
+          | Failed { reason = Crashed; _ } -> "crashed"
+          | Failed { reason = Timed_out; _ } -> "timed out"
+          | Completed _ -> assert false))
+      failed
+  in
+  if failed = [] then
+    Printf.sprintf "suite: %d/%d instances completed in %.1f s" total total
+      result.seconds
+  else
+    Printf.sprintf "suite: %d/%d instances completed in %.1f s — FAILED: %s"
+      (total - List.length failed)
+      total result.seconds
+      (String.concat ", " failure_words)
+
+(* ------------------------------------------------------------------ *)
+(* Golden-baseline diff                                                *)
+(* ------------------------------------------------------------------ *)
+
+type tolerance = { tol_skew_ps : float; tol_clr_ps : float }
+
+let default_tolerance = { tol_skew_ps = 0.5; tol_clr_ps = 1.0 }
+
+type regression = {
+  reg_name : string;
+  what : string;
+  measured : float;
+  golden : float;
+}
+
+let diff_baseline ?(tolerance = default_tolerance) ~golden result =
+  let golden_instances = Json.to_list (Json.member "instances" golden) in
+  let measured name =
+    List.find_opt (fun r -> r.name = name) result.reports
+  in
+  List.concat_map
+    (fun g ->
+      match (Json.to_str (Json.member "name" g),
+             Json.to_str (Json.member "status" g)) with
+      | Some name, Some "completed" -> (
+        let g_skew = Json.to_float (Json.member "skew_ps" g) in
+        let g_clr = Json.to_float (Json.member "clr_ps" g) in
+        match measured name with
+        | None ->
+          [ { reg_name = name;
+              what = "present in the baseline but missing from this run";
+              measured = nan; golden = nan } ]
+        | Some { status = Failed { reason; _ }; _ } ->
+          [ { reg_name = name;
+              what =
+                Printf.sprintf "completed in the baseline but %s now"
+                  (match reason with
+                  | Crashed -> "crashed"
+                  | Timed_out -> "timed out");
+              measured = nan; golden = nan } ]
+        | Some { status = Completed c; _ } ->
+          let metric what tol golden_v measured_v =
+            match golden_v with
+            | Some gv when measured_v > gv +. tol ->
+              [ { reg_name = name;
+                  what =
+                    Printf.sprintf "%s regressed %.3f -> %.3f ps (tol %.3f)"
+                      what gv measured_v tol;
+                  measured = measured_v; golden = gv } ]
+            | _ -> []
+          in
+          metric "skew" tolerance.tol_skew_ps g_skew c.skew_ps
+          @ metric "CLR" tolerance.tol_clr_ps g_clr c.clr_ps)
+      | _ -> [])
+    golden_instances
+
+let load_baseline path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Json.of_string text

@@ -1,0 +1,131 @@
+(** Fault-tolerant parallel suite runner — the harness behind the
+    [contango suite] subcommand.
+
+    Runs an arbitrary set of benchmark instances (ISPD'09 names, [ti:N]
+    scalings, [grid:N] grids, [.cts] files) through the full {!Core.Flow}
+    across a dedicated {!Analysis.Domain_pool}, with per-instance fault
+    isolation: an instance that raises or overruns its wall-clock budget
+    becomes a structured failure record while every other instance keeps
+    running, so the suite always produces partial results instead of
+    aborting.
+
+    Timeouts are cooperative: each instance's budget is installed as
+    {!Core.Config.deadline} and checked before every evaluation
+    ({!Core.Ivc.evaluate}); the transient kernel's own step budget bounds
+    any single march, so a stiff stage cannot hang between checks.
+
+    While an instance runs, each completed flow step streams one JSONL
+    telemetry line (via {!Core.Flow.run}'s [on_step] hook) to
+    [<out_dir>/<name>.trace.jsonl] — a crash after three steps still
+    leaves three parseable lines on disk. The suite summary lands in
+    [<out_dir>/suite.json], and {!diff_baseline} compares it against a
+    committed golden copy for regression gating.
+
+    Caveat: the evaluation and transient-kernel counters are
+    process-global, so with [jobs > 0] the per-instance and per-step
+    counter splits are approximate; skew/CLR/latency results themselves
+    are unaffected (instances share no mutable state). The runner creates
+    its own pool rather than using {!Analysis.Domain_pool.global} so that
+    instance jobs and the incremental evaluator's inner corner ×
+    transition fan-out (which does use the global pool) never compete for
+    the same queue. *)
+
+(** What to run. [Bench] is a loaded benchmark; the two [Inject_*]
+    variants exist for fault-path tests and CI smoke runs. *)
+type spec =
+  | Bench of Format_io.t
+  | Inject_fail of string  (** raises immediately — a crashing instance *)
+  | Inject_hang of string
+      (** never converges: cooperatively polls the deadline until the
+          budget expires (or fails outright when no timeout is set) *)
+
+(** [load_bench s] — [s] as a [.cts] file path, an ISPD'09 name, [ti:N]
+    or [grid:N]. @raise Failure with a descriptive message otherwise. *)
+val load_bench : string -> Format_io.t
+
+(** [spec_of_string s] — [fail:NAME] / [hang:NAME] injections, anything
+    else via {!load_bench}. @raise Failure on unparseable specs. *)
+val spec_of_string : string -> spec
+
+type reason = Crashed | Timed_out
+
+type completed = {
+  skew_ps : float;
+  clr_ps : float;
+  t_max_ps : float;
+  cap_pct : float;  (** total cap as % of the limit; [nan] if unlimited *)
+  buffers : int;
+  eval_runs : int;
+}
+
+type status =
+  | Completed of completed
+  | Failed of { reason : reason; detail : string }
+
+type instance_report = {
+  name : string;
+  sinks : int;
+  status : status;
+  seconds : float;
+  steps : Core.Flow.trace_entry list;
+      (** completed steps in flow order — partial when the instance
+          failed mid-run *)
+  trace_path : string;  (** the instance's JSONL telemetry file *)
+}
+
+type t = {
+  reports : instance_report list;  (** in input order *)
+  seconds : float;
+  out_dir : string;
+}
+
+(** Instances whose status is [Failed]. *)
+val failures : t -> instance_report list
+
+(** Run the suite. [out_dir] (default ["bench_out"]) receives the
+    per-instance [*.trace.jsonl] files and [suite.json]; [timeout] is the
+    per-instance wall-clock budget in seconds (default: none); [jobs] is
+    the worker-domain count ([Some 0] = strictly sequential, default:
+    one per spare core); [config] seeds every instance's flow
+    configuration (its [deadline] is overwritten per instance).
+
+    Never raises on instance failure — inspect {!failures}. *)
+val run :
+  ?out_dir:string -> ?timeout:float -> ?jobs:int -> ?config:Core.Config.t ->
+  spec list -> t
+
+(** The measured-vs-paper summary table (final skew/CLR next to the
+    paper's Table IV Contango CLR where the instance is an ISPD'09
+    benchmark), one row per instance including failures. *)
+val summary_table : t -> string
+
+val to_json : t -> Report.Json.t
+
+(** Write [<out_dir>/suite.json]; returns the path written. *)
+val write_suite_json : t -> string
+
+(** One-line-per-instance exit summary (also encodes failure reasons). *)
+val summary_line : t -> string
+
+type tolerance = { tol_skew_ps : float; tol_clr_ps : float }
+
+val default_tolerance : tolerance
+
+type regression = {
+  reg_name : string;
+  what : string;      (** human-readable: which metric regressed and how *)
+  measured : float;   (** [nan] when the instance failed or went missing *)
+  golden : float;
+}
+
+(** [diff_baseline ~golden result] — regressions of [result] against a
+    golden [suite.json] document (as parsed by {!Report.Json.of_string}):
+    a completed golden instance that now fails or is missing, or whose
+    final skew/CLR exceeds the golden value by more than the tolerance.
+    Instances present only in [result] are ignored (new coverage is not a
+    regression). *)
+val diff_baseline :
+  ?tolerance:tolerance -> golden:Report.Json.t -> t -> regression list
+
+(** Read and parse a golden baseline file. *)
+val load_baseline : string -> (Report.Json.t, string) result

@@ -113,6 +113,44 @@ let test_slack_combined_min () =
       check_bool "combined <= fall" true
         (combined.Core.Slack.slow.(i) <= fall.Core.Slack.slow.(i) +. 1e-9))
 
+(* Regression: corners must compare by name, not physical identity.
+   Rebuilding each run's corner record (structurally equal, physically
+   distinct — as a variation sweep or file round-trip does) used to make
+   [combined] silently drop every run but the head, so the fall-transition
+   nominal run no longer constrained the slack. *)
+let test_slack_combined_cloned_corners () =
+  let tree, _ = initial_tree () in
+  let ev = Ev.evaluate ~engine:Ev.Arnoldi tree in
+  let clone (c : Tech.Corner.t) = { c with Tech.Corner.name = c.Tech.Corner.name } in
+  let cloned =
+    { ev with
+      Ev.runs =
+        List.map
+          (fun (r : Ev.run) -> { r with Ev.corner = clone r.Ev.corner })
+          ev.Ev.runs }
+  in
+  let reference = Core.Slack.combined tree ev in
+  let combined = Core.Slack.combined tree cloned in
+  check_near 1e-12 "t_min unaffected by corner cloning"
+    reference.Core.Slack.t_min combined.Core.Slack.t_min;
+  check_near 1e-12 "t_max unaffected by corner cloning"
+    reference.Core.Slack.t_max combined.Core.Slack.t_max;
+  Tree.iter tree (fun nd ->
+      let i = nd.Tree.id in
+      check_near 1e-12 "slow slack unaffected by corner cloning"
+        reference.Core.Slack.slow.(i) combined.Core.Slack.slow.(i);
+      check_near 1e-12 "fast slack unaffected by corner cloning"
+        reference.Core.Slack.fast.(i) combined.Core.Slack.fast.(i));
+  (* Guard against vacuity: with both nominal transitions kept, combined
+     is strictly tighter than the rise run alone somewhere. *)
+  let rise = Core.Slack.of_run tree (Ev.nominal_run ev Ev.Rise) in
+  let tighter = ref false in
+  Tree.iter tree (fun nd ->
+      let i = nd.Tree.id in
+      if combined.Core.Slack.slow.(i) < rise.Core.Slack.slow.(i) -. 1e-9 then
+        tighter := true);
+  check_bool "fall run contributes to the combined slack" true !tighter
+
 (* ---------- Polarity (paper §IV-D, Prop. 2) ---------- *)
 
 let buffered_tree seed =
@@ -586,7 +624,9 @@ let () =
          Alcotest.test_case "lemma 2" `Quick test_slack_lemma2;
          Alcotest.test_case "proposition 1" `Quick test_slack_proposition1;
          Alcotest.test_case "fast deltas" `Quick test_delta_fast;
-         Alcotest.test_case "combined min" `Quick test_slack_combined_min ]);
+         Alcotest.test_case "combined min" `Quick test_slack_combined_min;
+         Alcotest.test_case "combined: cloned corners" `Quick
+           test_slack_combined_cloned_corners ]);
       ("polarity",
        [ Alcotest.test_case "strategies correct" `Quick test_polarity_strategies_correct;
          Alcotest.test_case "minimal cheapest" `Quick test_polarity_minimal_cheapest;

@@ -373,6 +373,17 @@ let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "geometry"
     [
+      ("listx",
+       [ Alcotest.test_case "last" `Quick (fun () ->
+             Alcotest.(check int) "last of many" 3
+               (Listx.last ~what:"t" [ 1; 2; 3 ]);
+             Alcotest.(check int) "last of one" 7 (Listx.last ~what:"t" [ 7 ]);
+             Alcotest.(check bool) "empty names the caller" true
+               (match Listx.last ~what:"caller-site" [] with
+               | exception Invalid_argument msg ->
+                 String.length msg > 0
+                 && String.sub msg 0 11 = "caller-site"
+               | _ -> false)) ]);
       ("point",
        [ Alcotest.test_case "dist" `Quick test_point_dist;
          Alcotest.test_case "midpoint" `Quick test_point_midpoint;

@@ -274,6 +274,59 @@ let test_probe_trailing_times () =
   check_near 1e-12 "duplicate trailing time" v.(1) v.(2);
   check_near 0.01 "far trailing time" 1.0 v.(3)
 
+(* Regression: trace cache counters must be per-step deltas. The flow used
+   to copy the session's cumulative totals into every entry, so later
+   entries could only grow and summing the trace double-counted. With
+   per-step deltas, a cheap step (TWSZ converges in a few rounds here)
+   records fewer misses than the INITIAL full evaluation — impossible
+   under the old cumulative semantics. *)
+let test_trace_cache_deltas () =
+  let b = Suite.Gen_grid.generate ~n:3 () in
+  let config = { Core.Config.default with Core.Config.engine = Ev.Arnoldi } in
+  let r =
+    Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
+      ~source:b.Suite.Format_io.source b.Suite.Format_io.sinks
+  in
+  let trace = r.Core.Flow.trace in
+  check_int "one entry per step" 5 (List.length trace);
+  let initial = List.hd trace in
+  check_int "first evaluation starts cold" 0 initial.Core.Flow.cache_hits;
+  check_bool "INITIAL misses every stage" true
+    (initial.Core.Flow.cache_misses > 0);
+  check_bool "some later step records fewer misses than INITIAL" true
+    (List.exists
+       (fun (e : Core.Flow.trace_entry) ->
+         e.Core.Flow.step <> Core.Flow.Initial
+         && e.Core.Flow.cache_misses < initial.Core.Flow.cache_misses)
+       trace);
+  check_bool "later steps hit the cache" true
+    (List.exists
+       (fun (e : Core.Flow.trace_entry) -> e.Core.Flow.cache_hits > 0)
+       trace)
+
+(* Regression: the second-pass trigger threshold is configuration, not a
+   hardcoded [skew > 5.]. Forcing the trigger (negative threshold) must
+   run the TWSZ/TWSN/BWSN sequence again — strictly more evaluations than
+   with the second pass disabled (infinite threshold). *)
+let test_second_pass_threshold () =
+  let b = Suite.Gen_grid.generate ~n:3 () in
+  let run threshold =
+    let config =
+      { Core.Config.default with
+        Core.Config.engine = Ev.Arnoldi;
+        second_pass_skew_ps = threshold }
+    in
+    Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
+      ~source:b.Suite.Format_io.source b.Suite.Format_io.sinks
+  in
+  let disabled = run infinity in
+  let forced = run (-1.) in
+  check_bool "forced second pass spends more evaluations" true
+    (forced.Core.Flow.eval_runs > disabled.Core.Flow.eval_runs);
+  check_bool "second pass never worsens the final skew" true
+    (forced.Core.Flow.final.Ev.skew
+     <= disabled.Core.Flow.final.Ev.skew +. 1e-9)
+
 let () =
   Alcotest.run "incremental"
     [
@@ -296,5 +349,9 @@ let () =
             test_corner_structural_identity;
           Alcotest.test_case "probe unsorted" `Quick test_probe_unsorted_times;
           Alcotest.test_case "probe trailing" `Quick test_probe_trailing_times;
+          Alcotest.test_case "trace cache deltas" `Quick
+            test_trace_cache_deltas;
+          Alcotest.test_case "second-pass threshold" `Quick
+            test_second_pass_threshold;
         ] );
     ]
