@@ -17,6 +17,11 @@ let quick = Sys.getenv_opt "CONTANGO_BENCH_QUICK" <> None
 (* CONTANGO_BENCH_EVAL=1: run only the evaluator-kernel benchmark and the
    incremental-vs-seed flow comparison (writes evaluator_bench.json). *)
 let eval_only = Sys.getenv_opt "CONTANGO_BENCH_EVAL" <> None
+
+(* CONTANGO_BENCH_PASSES=1: run only the pass-level speculation benchmark
+   (legacy copy-based loop vs journaled speculative search; writes
+   pass_bench.json). *)
+let passes_only = Sys.getenv_opt "CONTANGO_BENCH_PASSES" <> None
 let out_dir = "bench_out"
 
 let fmt = Suite.Report.fmt
@@ -800,11 +805,135 @@ let kernels () =
           rows))
 
 (* ------------------------------------------------------------------ *)
+(* Pass-level speculation benchmark (CONTANGO_BENCH_PASSES=1)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-pass wall-clock, IVC attempts and accepts for the legacy
+   copy-based attempt loop (speculation = -1, the PR 3 baseline) against
+   the journaled speculative search at widths 1 and 4, on the 1000-sink
+   TI instance. Also records the width-determinism check — widths 1 and 4
+   must produce bit-identical trees and final skew/CLR — and the post-ZST
+   speedup ratios (sum of step_seconds over every step after INITIAL).
+   Writes bench_out/pass_bench.json. *)
+let pass_bench () =
+  section "Pass-level speculation benchmark — ti1000";
+  let open Suite.Report.Json in
+  let b = Suite.Gen_ti.generate 1_000 in
+  let run label speculation =
+    Printf.printf "  running %s (speculation = %d)...\n%!" label speculation;
+    let config = { Core.Config.default with Core.Config.speculation } in
+    let e0 = Ev.eval_count () in
+    let r =
+      Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
+        ~source:b.Suite.Format_io.source b.Suite.Format_io.sinks
+    in
+    let evals = Ev.eval_count () - e0 in
+    Printf.printf
+      "    %6.2f s flow, %4d evals, skew %.3f ps, CLR %.3f ps\n%!"
+      r.Core.Flow.seconds evals r.Core.Flow.final.Ev.skew
+      r.Core.Flow.final.Ev.clr;
+    (r, evals)
+  in
+  let post_zst (r : Core.Flow.result) =
+    List.fold_left
+      (fun acc (e : Core.Flow.trace_entry) ->
+        if e.Core.Flow.step = Core.Flow.Initial then acc
+        else acc +. e.Core.Flow.step_seconds)
+      0. r.Core.Flow.trace
+  in
+  let mode_json label speculation ((r : Core.Flow.result), evals) =
+    Obj
+      [
+        ("label", Str label);
+        ("speculation", Num (float_of_int speculation));
+        ("seconds", Num r.Core.Flow.seconds);
+        ("post_zst_seconds", Num (post_zst r));
+        ("eval_runs", Num (float_of_int evals));
+        ("final_skew_ps", Num r.Core.Flow.final.Ev.skew);
+        ("final_clr_ps", Num r.Core.Flow.final.Ev.clr);
+        ("steps",
+         List
+           (List.map
+              (fun (e : Core.Flow.trace_entry) ->
+                Obj
+                  [
+                    ("step", Str (Core.Flow.step_name e.Core.Flow.step));
+                    ("seconds", Num e.Core.Flow.step_seconds);
+                    ("attempts", Num (float_of_int e.Core.Flow.attempts));
+                    ("accepts", Num (float_of_int e.Core.Flow.accepts));
+                    ("skew_ps", Num e.Core.Flow.skew);
+                    ("clr_ps", Num e.Core.Flow.clr);
+                  ])
+              r.Core.Flow.trace));
+      ]
+  in
+  let legacy = run "legacy copy-based baseline" (-1) in
+  let serial = run "journaled serial" 1 in
+  let wide = run "journaled width 4" 4 in
+  let rl, _ = legacy and r1, _ = serial and r4, _ = wide in
+  let deterministic =
+    Ctree.Tree.digest r1.Core.Flow.tree = Ctree.Tree.digest r4.Core.Flow.tree
+    && r1.Core.Flow.final.Ev.skew = r4.Core.Flow.final.Ev.skew
+    && r1.Core.Flow.final.Ev.clr = r4.Core.Flow.final.Ev.clr
+  in
+  let speedup r = post_zst rl /. post_zst r in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\n  post-ZST: legacy %.2f s | width 1 %.2f s (%.2fx) | width 4 %.2f s \
+     (%.2fx)\n\
+    \  width 4 = width 1 (tree digest, skew, CLR): %b   (cores: %d)\n"
+    (post_zst rl) (post_zst r1) (speedup r1) (post_zst r4) (speedup r4)
+    deterministic cores;
+  let header = [ "step"; "legacy s"; "w1 s"; "w4 s"; "att w1"; "acc w1" ] in
+  let rows =
+    List.map2
+      (fun (el : Core.Flow.trace_entry) ((e1 : Core.Flow.trace_entry), e4) ->
+        [
+          Core.Flow.step_name el.Core.Flow.step;
+          fmt el.Core.Flow.step_seconds;
+          fmt e1.Core.Flow.step_seconds;
+          fmt (e4 : Core.Flow.trace_entry).Core.Flow.step_seconds;
+          string_of_int e1.Core.Flow.attempts;
+          string_of_int e1.Core.Flow.accepts;
+        ])
+      rl.Core.Flow.trace
+      (List.combine r1.Core.Flow.trace r4.Core.Flow.trace)
+  in
+  print_string (Suite.Report.table ~title:"" ~header rows);
+  let json =
+    Obj
+      [
+        ("instance", Str "ti1000");
+        ("cores", Num (float_of_int cores));
+        ("modes",
+         List
+           [
+             mode_json "legacy" (-1) legacy;
+             mode_json "width1" 1 serial;
+             mode_json "width4" 4 wide;
+           ]);
+        ("post_zst_speedup_width1", Num (speedup r1));
+        ("post_zst_speedup_width4", Num (speedup r4));
+        ("deterministic_across_widths", Bool deterministic);
+      ]
+  in
+  let path = Filename.concat out_dir "pass_bench.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string json));
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let t0 = Unix.gettimeofday () in
-  if eval_only then begin
+  if passes_only then begin
+    pass_bench ();
+    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  end
+  else if eval_only then begin
     evaluator_bench ();
     Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
   end

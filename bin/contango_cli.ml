@@ -26,14 +26,60 @@ let engine_conv =
 
 let load_bench = Suite.Runner.load_bench
 
-let config_of ?second_pass_skew ~engine () =
+let config_of ?second_pass_skew ?speculation ?probe_count ?size_probe_min_len
+    ?snake_probe_min_len ~engine () =
   let c = Core.Config.default in
   let c =
     match engine with Some e -> { c with Core.Config.engine = e } | None -> c
   in
-  match second_pass_skew with
-  | Some s -> { c with Core.Config.second_pass_skew_ps = s }
+  let c =
+    match second_pass_skew with
+    | Some s -> { c with Core.Config.second_pass_skew_ps = s }
+    | None -> c
+  in
+  let c =
+    match speculation with
+    | Some n -> { c with Core.Config.speculation = n }
+    | None -> c
+  in
+  let c =
+    match probe_count with
+    | Some n -> { c with Core.Config.probe_count = n }
+    | None -> c
+  in
+  let c =
+    match size_probe_min_len with
+    | Some n -> { c with Core.Config.size_probe_min_len = n }
+    | None -> c
+  in
+  match snake_probe_min_len with
+  | Some n -> { c with Core.Config.snake_probe_min_len = n }
   | None -> c
+
+(* Optimization-loop knobs shared by the run and suite commands. *)
+let speculate_arg =
+  Arg.(value & opt (some int) None
+       & info [ "speculate" ] ~docv:"N"
+           ~doc:"Speculative candidate-search width for the IVC loops: N>0 \
+                 parallel lanes (1 = serial journaled search), 0 picks a \
+                 width from the core count (default), -1 restores the \
+                 legacy copy-based serial loop. Results are identical for \
+                 every N >= 0; only wall-clock changes.")
+
+let probe_count_arg =
+  Arg.(value & opt (some int) None
+       & info [ "probe-count" ] ~docv:"K"
+           ~doc:"Calibration probes per wire-sizing/snaking estimator.")
+
+let size_probe_min_len_arg =
+  Arg.(value & opt (some int) None
+       & info [ "size-probe-min-len" ] ~docv:"NM"
+           ~doc:"Minimum parent-wire length for a wire-sizing probe site.")
+
+let snake_probe_min_len_arg =
+  Arg.(value & opt (some int) None
+       & info [ "snake-probe-min-len" ] ~docv:"NM"
+           ~doc:"Minimum parent-wire length for a snaking probe site.")
 
 let write_slack_svg tree eval path =
   let slacks = Core.Slack.combined tree eval in
@@ -83,9 +129,13 @@ let run_cmd =
                    pass. Use inf to disable the second pass, a negative \
                    value to force it.")
   in
-  let run spec engine second_pass_skew svg =
+  let run spec engine second_pass_skew speculation probe_count
+      size_probe_min_len snake_probe_min_len svg =
     let b = load_bench spec in
-    let config = config_of ?second_pass_skew ~engine () in
+    let config =
+      config_of ?second_pass_skew ?speculation ?probe_count
+        ?size_probe_min_len ?snake_probe_min_len ~engine ()
+    in
     let r =
       Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
         ~source:b.Suite.Format_io.source ~obstacles:b.Suite.Format_io.obstacles
@@ -130,7 +180,9 @@ let run_cmd =
     Option.iter (write_slack_svg r.Core.Flow.tree r.Core.Flow.final) svg
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the full Contango flow on a benchmark.")
-    Term.(const run $ spec $ engine $ second_pass_skew $ svg)
+    Term.(const run $ spec $ engine $ second_pass_skew $ speculate_arg
+          $ probe_count_arg $ size_probe_min_len_arg $ snake_probe_min_len_arg
+          $ svg)
 
 (* suite *)
 let suite_cmd =
@@ -183,10 +235,14 @@ let suite_cmd =
          & info [ "tol-clr" ] ~docv:"PS"
              ~doc:"CLR regression tolerance for --baseline.")
   in
-  let run specs out_dir timeout jobs engine second_pass_skew baseline tol_skew
+  let run specs out_dir timeout jobs engine second_pass_skew speculation
+      probe_count size_probe_min_len snake_probe_min_len baseline tol_skew
       tol_clr =
     let specs = List.map Suite.Runner.spec_of_string specs in
-    let config = config_of ?second_pass_skew ~engine () in
+    let config =
+      config_of ?second_pass_skew ?speculation ?probe_count
+        ?size_probe_min_len ?snake_probe_min_len ~engine ()
+    in
     let result = Suite.Runner.run ~out_dir ?timeout ?jobs ~config specs in
     print_string (Suite.Runner.summary_table result);
     let path = Suite.Runner.write_suite_json result in
@@ -218,7 +274,9 @@ let suite_cmd =
        ~doc:"Run a benchmark suite with fault isolation, per-step JSONL \
              telemetry and optional golden-baseline regression gating.")
     Term.(const run $ specs $ out_dir $ timeout $ jobs $ engine
-          $ second_pass_skew $ baseline $ tol_skew $ tol_clr)
+          $ second_pass_skew $ speculate_arg $ probe_count_arg
+          $ size_probe_min_len_arg $ snake_probe_min_len_arg $ baseline
+          $ tol_skew $ tol_clr)
 
 (* eval (baseline) *)
 let eval_cmd =

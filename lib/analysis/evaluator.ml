@@ -249,9 +249,16 @@ type cache_stats = {
   misses : int;
   refreshes : int;
   fast_refreshes : int;
+  dirty_refreshes : int;
   entries : int;
   factored_entries : int;
 }
+
+(* A journaled edit, as reported by the tree journal: the revision the
+   edit started from and the node ids it touched. Sessions chain hints —
+   a hint anchored at the revision the session last saw lets a refresh
+   re-extract only the stages those nodes live in. *)
+type edit_hint = { base_revision : int; nodes : int list }
 
 module Incremental = struct
   (* One (corner × source transition) evaluation pass owns its own cache
@@ -292,6 +299,22 @@ module Incremental = struct
     mutable last_tree : Tree.t;
     mutable refreshes : int;
     mutable fast_refreshes : int;
+    mutable dirty_refreshes : int;
+    (* Stage caches for the dirty-set fast path. [c_stages]/[c_fps] hold
+       the extraction the session last computed; [c_stage_of] maps a tree
+       node to the stage owning its parent wire and [c_driven] maps a
+       driver node to the stage it drives. [anchor_rev] is the tree
+       revision the caches describe, advanced by [note_edits] as journaled
+       edits are reported; [pending] accumulates their touched nodes until
+       the next refresh. Any unreported mutation breaks the chain and the
+       next refresh falls back to a full extraction. *)
+    mutable c_stages : Rcnet.stage array;
+    mutable c_fps : Int64.t array;
+    mutable c_stage_of : int array;
+    mutable c_driven : int array;
+    mutable stages_tree : Tree.t;
+    mutable anchor_rev : int;
+    mutable pending : int list;
   }
 
   (* Reset-on-overflow cap: generous enough that a full Flow run never
@@ -319,7 +342,10 @@ module Incremental = struct
       tmode = transient_mode; tree; slots;
       probe_fcache = Transient.Fcache.create ();
       probe_ws = Transient.workspace (); last = None; last_revision = -1;
-      last_tree = tree; refreshes = 0; fast_refreshes = 0 }
+      last_tree = tree; refreshes = 0; fast_refreshes = 0;
+      dirty_refreshes = 0; c_stages = [||]; c_fps = [||];
+      c_stage_of = [||]; c_driven = [||]; stages_tree = tree;
+      anchor_rev = -1; pending = [] }
 
   let run_slot session stages fps slot =
     let solve si rc ~r_drv ~s_drv =
@@ -348,10 +374,8 @@ module Incremental = struct
     in
     propagate_with ~solve session.tree stages slot.s_corner slot.s_transition
 
-  let full_refresh session =
-    let tree = session.tree in
-    let stages = Array.of_list (Rcnet.stages ?seg_len:session.seg_len tree) in
-    let fps = Array.map (fun st -> Rcnet.fingerprint st.Rcnet.rc) stages in
+  let run_all session =
+    let stages = session.c_stages and fps = session.c_fps in
     let runs =
       if session.parallel && Array.length session.slots > 1 then
         Domain_pool.map (Domain_pool.global ())
@@ -359,9 +383,99 @@ module Incremental = struct
           session.slots
       else Array.map (run_slot session stages fps) session.slots
     in
-    summarize tree (Array.to_list runs)
+    summarize session.tree (Array.to_list runs)
 
-  let refresh ?tree session =
+  let full_refresh session =
+    let tree = session.tree in
+    let stages = Array.of_list (Rcnet.stages ?seg_len:session.seg_len tree) in
+    let fps = Array.map (fun st -> Rcnet.fingerprint st.Rcnet.rc) stages in
+    (* Node → stage maps for the dirty fast path: a stage is dirtied when
+       a node whose parent wire it contains (or a buffer whose drive it
+       provides) is edited. Unreachable (detached) nodes keep -1, which
+       forces any edit touching them back to a full extraction. *)
+    let n = Tree.size tree in
+    let stage_of = Array.make n (-1) in
+    let driven = Array.make n (-1) in
+    Array.iteri (fun si st -> driven.(st.Rcnet.driver) <- si) stages;
+    Array.iter
+      (fun id ->
+        let nd = Tree.node tree id in
+        if nd.Tree.parent >= 0 then
+          stage_of.(id) <-
+            (if driven.(nd.Tree.parent) >= 0 then driven.(nd.Tree.parent)
+             else stage_of.(nd.Tree.parent)))
+      (Tree.topo_order tree);
+    session.c_stages <- stages;
+    session.c_fps <- fps;
+    session.c_stage_of <- stage_of;
+    session.c_driven <- driven;
+    session.stages_tree <- tree;
+    session.anchor_rev <- Tree.revision tree;
+    session.pending <- [];
+    run_all session
+
+  (* Which stage indices does the accumulated dirty set cover? [None]
+     means the hint chain cannot be trusted (broken anchor, unmapped
+     node, tree rebound or resized) and a full extraction is needed. *)
+  let dirty_plan session ~edits ~rev =
+    if
+      session.stages_tree != session.tree
+      || session.anchor_rev < 0
+      || Array.length session.c_stage_of <> Tree.size session.tree
+    then None
+    else
+      let nodes =
+        match edits with
+        | Some e ->
+          if e.base_revision = session.anchor_rev then
+            Some (List.rev_append e.nodes session.pending)
+          else None
+        | None -> if session.anchor_rev = rev then Some session.pending else None
+      in
+      match nodes with
+      | None -> None
+      | Some nodes ->
+        let ids = List.sort_uniq compare nodes in
+        let rec go acc = function
+          | [] -> Some (List.sort_uniq compare acc)
+          | id :: rest ->
+            if id < 0 || id >= Tree.size session.tree then None
+            else
+              let si = session.c_stage_of.(id) in
+              if si < 0 then None
+              else begin
+                match (Tree.node session.tree id).Tree.kind with
+                | Tree.Buffer _ ->
+                  (* A rescaled buffer changes its input cap (upstream
+                     stage) and its drive (the stage it owns). *)
+                  let di = session.c_driven.(id) in
+                  if di < 0 then None else go (di :: si :: acc) rest
+                | _ -> go (si :: acc) rest
+              end
+        in
+        go [] ids
+
+  (* Re-extract only the dirty stages; every slot then re-propagates over
+     the cached stage array, hitting its solve cache on the clean ones
+     (the downstream-latency cone is handled by the propagation itself —
+     arrival chaining is recomputed for free, only dirty-stage solves
+     miss). *)
+  let dirty_refresh session dirty rev =
+    session.dirty_refreshes <- session.dirty_refreshes + 1;
+    List.iter
+      (fun si ->
+        let driver = session.c_stages.(si).Rcnet.driver in
+        let st =
+          Rcnet.stage_for ?seg_len:session.seg_len session.tree ~driver
+        in
+        session.c_stages.(si) <- st;
+        session.c_fps.(si) <- Rcnet.fingerprint st.Rcnet.rc)
+      dirty;
+    session.anchor_rev <- rev;
+    session.pending <- [];
+    run_all session
+
+  let refresh ?tree ?edits session =
     (match tree with Some t -> session.tree <- t | None -> ());
     Atomic.incr counter;
     session.refreshes <- session.refreshes + 1;
@@ -371,11 +485,29 @@ module Incremental = struct
       session.fast_refreshes <- session.fast_refreshes + 1;
       res
     | _ ->
-      let res = full_refresh session in
+      let res =
+        match dirty_plan session ~edits ~rev with
+        | Some dirty -> dirty_refresh session dirty rev
+        | None -> full_refresh session
+      in
       session.last <- Some res;
       session.last_revision <- Tree.revision session.tree;
       session.last_tree <- session.tree;
       res
+
+  let note_edits session ~edits ~new_revision =
+    match edits with
+    | Some e
+      when session.stages_tree == session.tree
+           && session.anchor_rev >= 0
+           && e.base_revision = session.anchor_rev ->
+      session.pending <- List.rev_append e.nodes session.pending;
+      session.anchor_rev <- new_revision
+    | _ ->
+      (* Unreported or unanchored mutation: the next refresh must
+         re-extract everything. *)
+      session.anchor_rev <- -1;
+      session.pending <- []
 
   let probe session rc ~r_drv ~s_drv ~node ~times =
     Transient.probe ?step:session.tstep ~fcache:session.probe_fcache
@@ -394,7 +526,8 @@ module Incremental = struct
           0 session.slots
     in
     { hits; misses; refreshes = session.refreshes;
-      fast_refreshes = session.fast_refreshes; entries; factored_entries }
+      fast_refreshes = session.fast_refreshes;
+      dirty_refreshes = session.dirty_refreshes; entries; factored_entries }
 
   let invalidate session =
     Array.iter
@@ -406,5 +539,7 @@ module Incremental = struct
       session.slots;
     Transient.Fcache.clear session.probe_fcache;
     session.last <- None;
-    session.last_revision <- -1
+    session.last_revision <- -1;
+    session.anchor_rev <- -1;
+    session.pending <- []
 end

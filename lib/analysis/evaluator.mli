@@ -78,10 +78,19 @@ type cache_stats = {
   misses : int;          (** stage solves that ran an engine *)
   refreshes : int;       (** total {!Incremental.refresh} calls *)
   fast_refreshes : int;  (** refreshes short-circuited by the revision memo *)
+  dirty_refreshes : int;
+      (** refreshes that re-extracted only journal-dirtied stages *)
   entries : int;         (** live cached stage results across all slots *)
   factored_entries : int;
       (** live backward-Euler factorisations across all per-slot caches *)
 }
+
+(** A journaled edit: the tree revision it started from and the node ids
+    it touched (see {!Ctree.Tree.Journal.touched}). Passed to
+    {!Incremental.refresh} / {!Incremental.note_edits}, it lets a session
+    chain edits from the state it last saw and re-extract only the dirty
+    stages instead of re-fingerprinting the whole tree. *)
+type edit_hint = { base_revision : int; nodes : int list }
 
 (** Session-based incremental evaluation.
 
@@ -113,8 +122,28 @@ module Incremental : sig
   (** Re-evaluate the session's tree, reusing every cached stage that
       still matches. [?tree] rebinds the session to a replacement tree
       (e.g. after {!Ctree.Tree.compact}); caches carry over because keys
-      are content-derived, not id-derived. Counts as one evaluator run. *)
-  val refresh : ?tree:Ctree.Tree.t -> session -> t
+      are content-derived, not id-derived. Counts as one evaluator run.
+
+      [?edits] is the dirty-set fast path: when the hint's
+      [base_revision] matches the revision the session's stage extraction
+      describes (its anchor, advanced by {!note_edits}), only the stages
+      containing the hinted nodes' parent wires (plus the driven stage of
+      any hinted buffer) are re-extracted and re-fingerprinted; all other
+      stages are answered from the per-slot caches, and the downstream
+      arrival cone is recomputed by the propagation itself. A stale or
+      unmappable hint silently falls back to a full extraction, so the
+      result is always identical to a refresh without the hint. *)
+  val refresh : ?tree:Ctree.Tree.t -> ?edits:edit_hint -> session -> t
+
+  (** Report tree mutations that happened {e without} a refresh — a
+      rolled-back speculative edit, or a winner journal replayed onto
+      this session's tree. [edits = Some h] with [h.base_revision] equal
+      to the session's anchor extends the anchor chain to
+      [new_revision] and accumulates [h.nodes] into the pending dirty
+      set; [None] (or a mismatched base) drops the anchor so the next
+      refresh does a full extraction. Never evaluates. *)
+  val note_edits :
+    session -> edits:edit_hint option -> new_revision:int -> unit
 
   (** Waveform probe through the session's factorisation cache and
       workspace (see {!Transient.probe}); uses the session's

@@ -52,61 +52,70 @@ let finish b =
     size = b.n;
   }
 
+(* Expand one driver's stage. [on_buffer] fires for every downstream
+   buffer reached (the drivers of the next stages). *)
+let build_stage ~seg_len tree ~driver ~on_buffer =
+  let b = new_builder () in
+  let driver_node = Tree.node tree driver in
+  let out_cap =
+    match driver_node.Tree.kind with
+    | Tree.Buffer buf -> Tech.Composite.c_out buf
+    | Tree.Source | Tree.Internal | Tree.Sink _ -> 0.
+  in
+  let root_rc = push b ~parent:(-1) ~res:0. ~cap:out_cap in
+  (* Expand the wire from [up_rc] down to ctree node [id], then recurse
+     or terminate at taps. *)
+  let rec expand up_rc id =
+    let nd = Tree.node tree id in
+    let len = Tree.wire_len nd in
+    let wire = Tree.wire_of tree nd in
+    let nsegs = max 1 ((len + seg_len - 1) / seg_len) in
+    let total_r = Tech.Wire.res wire len in
+    let total_c = Tech.Wire.cap wire len in
+    let seg_r = total_r /. float_of_int nsegs in
+    let seg_c = total_c /. float_of_int nsegs in
+    (* π-segmentation: place each segment's capacitance at its far end;
+       the near half of the first segment lands on the upstream node.
+       For simplicity each segment is an RC L-section — with several
+       segments per wire this converges to the same distributed
+       behaviour. *)
+    let last = ref up_rc in
+    for _ = 1 to nsegs do
+      last := push b ~parent:!last ~res:seg_r ~cap:seg_c
+    done;
+    let end_rc = !last in
+    (match nd.Tree.kind with
+    | Tree.Sink s ->
+      b.cap_b.(end_rc) <- b.cap_b.(end_rc) +. s.Tree.cap;
+      b.taps_b <- (end_rc, Tap_sink id) :: b.taps_b
+    | Tree.Buffer buf ->
+      b.cap_b.(end_rc) <- b.cap_b.(end_rc) +. Tech.Composite.c_in buf;
+      b.taps_b <- (end_rc, Tap_buffer id) :: b.taps_b;
+      on_buffer id
+    | Tree.Internal ->
+      List.iter (fun c -> expand end_rc c) nd.Tree.children
+    | Tree.Source -> invalid_arg "Rcnet.stages: source below root")
+  in
+  List.iter (fun c -> expand root_rc c) driver_node.Tree.children;
+  { driver; rc = finish b }
+
 let stages ?(seg_len = 30_000) tree =
-  let tech = Tree.tech tree in
   (* Queue of stage drivers to expand, seeded with the source. *)
   let pending = Queue.create () in
   Queue.add (Tree.root tree) pending;
   let out = ref [] in
   while not (Queue.is_empty pending) do
     let driver = Queue.pop pending in
-    let b = new_builder () in
-    let driver_node = Tree.node tree driver in
-    let out_cap =
-      match driver_node.Tree.kind with
-      | Tree.Buffer buf -> Tech.Composite.c_out buf
-      | Tree.Source | Tree.Internal | Tree.Sink _ -> 0.
+    let stage =
+      build_stage ~seg_len tree ~driver
+        ~on_buffer:(fun id -> Queue.add id pending)
     in
-    let root_rc = push b ~parent:(-1) ~res:0. ~cap:out_cap in
-    (* Expand the wire from [up_rc] down to ctree node [id], then recurse
-       or terminate at taps. *)
-    let rec expand up_rc id =
-      let nd = Tree.node tree id in
-      let len = Tree.wire_len nd in
-      let wire = Tree.wire_of tree nd in
-      let nsegs = max 1 ((len + seg_len - 1) / seg_len) in
-      let total_r = Tech.Wire.res wire len in
-      let total_c = Tech.Wire.cap wire len in
-      let seg_r = total_r /. float_of_int nsegs in
-      let seg_c = total_c /. float_of_int nsegs in
-      (* π-segmentation: place each segment's capacitance at its far end;
-         the near half of the first segment lands on the upstream node.
-         For simplicity each segment is an RC L-section — with several
-         segments per wire this converges to the same distributed
-         behaviour. *)
-      let last = ref up_rc in
-      for _ = 1 to nsegs do
-        last := push b ~parent:!last ~res:seg_r ~cap:seg_c
-      done;
-      let end_rc = !last in
-      (match nd.Tree.kind with
-      | Tree.Sink s ->
-        b.cap_b.(end_rc) <- b.cap_b.(end_rc) +. s.Tree.cap;
-        b.taps_b <- (end_rc, Tap_sink id) :: b.taps_b
-      | Tree.Buffer buf ->
-        b.cap_b.(end_rc) <- b.cap_b.(end_rc) +. Tech.Composite.c_in buf;
-        b.taps_b <- (end_rc, Tap_buffer id) :: b.taps_b;
-        Queue.add id pending
-      | Tree.Internal ->
-        List.iter (fun c -> expand end_rc c) nd.Tree.children
-      | Tree.Source -> invalid_arg "Rcnet.stages: source below root")
-    in
-    List.iter (fun c -> expand root_rc c) driver_node.Tree.children;
-    ignore root_rc;
-    ignore tech;
-    out := { driver; rc = finish b } :: !out
+    out := stage :: !out
   done;
   List.rev !out
+
+let stage_for ?(seg_len = 30_000) tree ~driver =
+  build_stage ~seg_len tree ~driver ~on_buffer:(fun _ -> ())
 
 (* 64-bit FNV-1a over the electrical content of a stage: topology (parent
    pointers), element values (bit patterns of res/cap) and the tap layout

@@ -28,6 +28,13 @@ type stage = {
     [seg_len] is the maximum wire-segment length in nm (default 30 µm). *)
 val stages : ?seg_len:int -> Ctree.Tree.t -> stage list
 
+(** Rebuild the single stage driven by [driver] (the source or a buffer),
+    without expanding downstream stages — the incremental evaluator's
+    dirty-set fast path uses it to re-extract only the stages a journaled
+    edit touched. Produces exactly the stage {!stages} would for the same
+    driver. *)
+val stage_for : ?seg_len:int -> Ctree.Tree.t -> driver:int -> stage
+
 (** Content hash (64-bit FNV-1a) of a stage's electrical identity:
     topology, element values and tap layout. Ctree node ids carried by the
     taps are excluded so the fingerprint survives tree compaction. Two

@@ -9,14 +9,12 @@ type result = {
 }
 
 (* Downsize sink wires whose per-sink slow-down slack affords the
-   predicted impact, within slew headroom. *)
-let bottom_sizing_pass config tree ~eval ~correction ~scale ~count =
+   predicted impact, within slew headroom. [slacks]/[headrooms]/[sens]
+   are precomputed by the round's plan (shared by the scale ladder's
+   candidates). *)
+let bottom_sizing_pass config tree ~slacks ~headrooms ~sens ~correction
+    ~scale ~count =
   let factor = config.Config.damping *. scale in
-  let slacks =
-    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
-  in
-  let headrooms = Probes.subtree_slew_headroom tree eval in
-  let sens = Probes.sensitivities tree in
   Array.iter
     (fun s ->
       let nd = Tree.node tree s in
@@ -34,6 +32,14 @@ let bottom_sizing_pass config tree ~eval ~correction ~scale ~count =
       end)
     (Tree.sinks tree)
 
+let plan_arrays config tree eval =
+  let slacks =
+    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
+  in
+  let headrooms = Probes.subtree_slew_headroom tree eval in
+  let sens = Probes.sensitivities tree in
+  (slacks, headrooms, sens)
+
 let run config tree ~baseline =
   let tws, size_corr = Wiresizing.estimate_tws config tree ~baseline in
   let twn, snake_corr = Wiresnaking.estimate_twn config tree ~baseline in
@@ -41,17 +47,21 @@ let run config tree ~baseline =
   let baseline, r1, _ =
     if tws > 0. then
       Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
-        (fun ~scale t ev ->
-          bottom_sizing_pass config t ~eval:ev ~correction:size_corr ~scale
-            ~count:downsized)
+        (fun t ev ->
+          let slacks, headrooms, sens = plan_arrays config t ev in
+          fun ~scale t ->
+            bottom_sizing_pass config t ~slacks ~headrooms ~sens
+              ~correction:size_corr ~scale ~count:downsized)
     else (baseline, 0, 0)
   in
   let eval, r2, _ =
     if twn > 0. then
       Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
-        (fun ~scale t ev ->
-          Wiresnaking.bottom_pass config t ~eval:ev ~correction:snake_corr
-            ~scale ~count:snaked ~added:dummy)
+        (fun t ev ->
+          let slacks, headrooms, sens = plan_arrays config t ev in
+          fun ~scale t ->
+            Wiresnaking.bottom_pass config t ~slacks ~headrooms ~sens
+              ~correction:snake_corr ~scale ~count:snaked ~added:dummy)
     else (baseline, 0, 0)
   in
   { eval; rounds = r1 + r2; downsized = !downsized; snaked_wires = !snaked }

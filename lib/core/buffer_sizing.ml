@@ -59,12 +59,11 @@ let cin_sum tree ids =
    stronger buffers, it is performed first"): upsize the buffers driving
    critical subtrees — those whose edge slow-down slack is small, i.e.
    containing the slowest sinks. Reduces Tmax (and improves slews) rather
-   than slowing the fast side, which costs slew headroom. *)
-let speedup_pass config tree ~eval ~scale =
-  let slacks =
-    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
-  in
-  let sens = Probes.sensitivities tree in
+   than slowing the fast side, which costs slew headroom. [slacks]/[sens]
+   come from the round's plan; the decision factor [f] depends on the
+   candidate's scale, so the gain/cost test stays in here. *)
+let speedup_pass config tree ~slacks ~sens ~scale =
+  ignore config;
   let k = Tech.Units.rc_to_ps in
   let skew = ref 0. in
   Array.iter
@@ -92,32 +91,41 @@ let speedup_pass config tree ~eval ~scale =
 let speedup config tree ~baseline =
   let eval, rounds, _ =
     Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
-      (fun ~scale t ev -> speedup_pass config t ~eval:ev ~scale)
+      (fun t ev ->
+        let slacks =
+          Slack.combined ~multicorner:config.Config.multicorner_slacks t ev
+        in
+        let sens = Probes.sensitivities t in
+        fun ~scale t -> speedup_pass config t ~slacks ~sens ~scale)
   in
   (eval, rounds)
 
 let run config tree ~baseline =
-  (* Trunk sizing: p_i = 100/(i+3) percent at iteration i. *)
+  (* Trunk sizing: p_i = 100/(i+3) percent at iteration i. The plan runs
+     once per round, so the iteration counter lives there; the returned
+     closure only applies the precomputed scaling. *)
   let iteration = ref 0 in
   let eval, trunk_rounds =
-    Ivc.iterate config tree ~baseline ~objective:Ivc.Clr (fun t _ev ->
+    Ivc.iterate config tree ~baseline ~objective:Ivc.Clr (fun plan_t _ev ->
         incr iteration;
         let p = 100. /. float_of_int (!iteration + 3) in
         let f = 1. +. (p /. 100.) in
-        List.iter (fun id -> scale_buffer t id f) (Buffer_slide.trunk_buffers t))
+        let trunk = Buffer_slide.trunk_buffers plan_t in
+        fun t -> List.iter (fun id -> scale_buffer t id f) trunk)
   in
   (* Branch sizing with capacitance borrowing. *)
   let branch_round = ref 0 in
   let eval, branch_rounds =
-    Ivc.iterate config tree ~baseline:eval ~objective:Ivc.Clr (fun t _ev ->
+    Ivc.iterate config tree ~baseline:eval ~objective:Ivc.Clr
+      (fun plan_t _ev ->
         incr branch_round;
         let p = 100. /. float_of_int (!branch_round + 4) in
         let f = 1. +. (p /. 100.) in
-        let depths = buffer_depths t in
-        let trunk = Buffer_slide.trunk_buffers t in
+        let depths = buffer_depths plan_t in
+        let trunk = Buffer_slide.trunk_buffers plan_t in
         let trunk_levels = List.length trunk in
         let targets =
-          Array.to_list (Tree.buffer_ids t)
+          Array.to_list (Tree.buffer_ids plan_t)
           |> List.filter (fun id ->
                  let d = depths.(id) in
                  d >= trunk_levels
@@ -125,17 +133,17 @@ let run config tree ~baseline =
                  && not (List.mem id trunk))
         in
         let donors =
-          let targets_set = targets in
-          bottom_buffers t
-          |> List.filter (fun id -> not (List.mem id targets_set))
+          bottom_buffers plan_t
+          |> List.filter (fun id -> not (List.mem id targets))
         in
-        let before_cap = cin_sum t targets in
-        List.iter (fun id -> scale_buffer t id f) targets;
-        let added = cin_sum t targets -. before_cap in
-        let donor_cap = cin_sum t donors in
-        if donor_cap > added && added > 0. then begin
-          let g = (donor_cap -. added) /. donor_cap in
-          List.iter (fun id -> scale_buffer t id (Float.max 0.3 g)) donors
-        end)
+        fun t ->
+          let before_cap = cin_sum t targets in
+          List.iter (fun id -> scale_buffer t id f) targets;
+          let added = cin_sum t targets -. before_cap in
+          let donor_cap = cin_sum t donors in
+          if donor_cap > added && added > 0. then begin
+            let g = (donor_cap -. added) /. donor_cap in
+            List.iter (fun id -> scale_buffer t id (Float.max 0.3 g)) donors
+          end)
   in
   { eval; trunk_rounds; branch_rounds }

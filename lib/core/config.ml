@@ -20,8 +20,19 @@ type t = {
   stage_balancing : bool;
   elmore_prebalance : bool;
   incremental : bool;
-  evaluator : (Ctree.Tree.t -> Analysis.Evaluator.t) option;
+  speculation : int;
+  probe_count : int;
+  size_probe_min_len : int;
+  snake_probe_min_len : int;
+  debug : bool;
+  evaluator : Speculate.hooks option;
+  spec : Speculate.t option;
 }
+
+(* Historical escape hatch, honoured once at startup so existing
+   workflows keep working; per-run control goes through the [debug]
+   field (the suite runner flips it per instance without re-exec). *)
+let debug_env = Sys.getenv_opt "CONTANGO_DEBUG" <> None
 
 let default =
   {
@@ -46,7 +57,13 @@ let default =
     stage_balancing = true;
     elmore_prebalance = true;
     incremental = true;
+    speculation = 0;
+    probe_count = 5;
+    size_probe_min_len = 20_000;
+    snake_probe_min_len = 5_000;
+    debug = debug_env;
     evaluator = None;
+    spec = None;
   }
 
 let scalability =
@@ -58,3 +75,8 @@ let scalability =
     vg_buckets = Some 32;
     max_rounds = 200;
   }
+
+let speculation_width t =
+  if t.speculation > 0 then t.speculation
+  else if t.speculation < 0 then 1
+  else max 1 (min 8 (Domain.recommended_domain_count () - 1))

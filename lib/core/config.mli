@@ -43,7 +43,7 @@ type t = {
           runtime" (§I). [infinity] disables the second pass, a negative
           value forces it *)
   deadline : float option;
-      (** absolute wall-clock deadline ([Unix.gettimeofday] scale) checked
+      (** absolute monotonic deadline ({!Monoclock.now} scale) checked
           cooperatively before every {!Ivc.evaluate}; past it, evaluation
           raises {!Ivc.Deadline_exceeded}. [None] (the default) never
           times out. Set by the suite runner's per-instance budget *)
@@ -63,11 +63,38 @@ type t = {
       (** let {!Flow} drive all optimization steps through one
           {!Analysis.Evaluator.Incremental} session instead of from-scratch
           evaluations; results are identical, only wall-clock changes *)
-  evaluator : (Ctree.Tree.t -> Analysis.Evaluator.t) option;
-      (** evaluation override used by {!Ivc.evaluate}; [None] falls back
-          to [Evaluator.evaluate ~engine ~seg_len]. Set by {!Flow} to the
-          incremental session's refresh — passes should not set it
-          themselves *)
+  speculation : int;
+      (** candidate-search width for {!Ivc.speculate}: [n > 0] uses [n]
+          parallel lanes ([1] = serial journaled search on the main
+          tree), [0] (the default) picks a width from the machine's core
+          count, and [-1] restores the legacy copy-based serial attempt
+          loop (full-tree snapshot per attempt, sequential scale ladder)
+          — kept as the benchmark baseline. The final tree and
+          evaluation are bit-identical for every value [>= 0]; width
+          changes only wall-clock time and how many losing ladder rungs
+          get (discarded) evaluations, while [-1] changes the whole
+          evaluation schedule *)
+  probe_count : int;
+      (** waveform probes used by the wire-sizing/snaking/bottom-level
+          correction estimators ({!Wiresizing.estimate_tws},
+          {!Wiresnaking.estimate_twn}) *)
+  size_probe_min_len : int;
+      (** minimum parent-wire length, nm, for a wire-sizing probe site *)
+  snake_probe_min_len : int;
+      (** minimum parent-wire length, nm, for a snaking probe site *)
+  debug : bool;
+      (** per-IVC-decision logging on stderr. Defaults to whether
+          [CONTANGO_DEBUG] was set at startup; the suite runner can flip
+          it per instance without re-exec *)
+  evaluator : Speculate.hooks option;
+      (** evaluation hooks used by {!Ivc.evaluate}; [None] falls back to
+          [Evaluator.evaluate ~engine ~seg_len]. Set by {!Flow} to the
+          incremental session's refresh/note pair — passes should not
+          set it themselves *)
+  spec : Speculate.t option;
+      (** speculation context over the flow's main tree, set by {!Flow};
+          {!Ivc.speculate} uses it when the pass operates on that tree
+          and falls back to a serial context otherwise *)
 }
 
 val default : t
@@ -76,3 +103,8 @@ val default : t
     configuration for 10K+-sink scalability runs (§V uses groups of large
     inverters and a faster evaluator there). *)
 val scalability : t
+
+(** Effective lane count for {!t.speculation}: the value itself when
+    positive, 1 for the legacy [-1] mode, and a core-count heuristic
+    (cores − 1, clamped to [1, 8]) for the [0] auto setting. *)
+val speculation_width : t -> int

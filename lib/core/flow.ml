@@ -23,6 +23,8 @@ type trace_entry = {
   kernel_solves : int;
   kernel_saved : int;
   kernel_truncations : int;
+  attempts : int;
+  accepts : int;
 }
 
 type result = {
@@ -60,11 +62,28 @@ let initial_tree ?(config = Config.default) ~tech ~source ?(obstacles = [])
   (inserted.Insertion.tree, inserted.Insertion.buf, polarity,
    inserted.Insertion.repair)
 
+let session_hooks s =
+  { Speculate.eval =
+      (fun ?edits t -> Evaluator.Incremental.refresh ?edits ~tree:t s);
+    note =
+      (fun ~edits ~new_revision ->
+        Evaluator.Incremental.note_edits s ~edits ~new_revision) }
+
+let plain_hooks config =
+  { Speculate.eval =
+      (fun ?edits:_ t ->
+        Evaluator.evaluate ~engine:config.Config.engine
+          ~seg_len:config.Config.seg_len
+          ~transient_step:config.Config.transient_step
+          ~transient_mode:config.Config.transient_mode t);
+    note = (fun ~edits:_ ~new_revision:_ -> ()) }
+
 let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
     sinks =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monoclock.now () in
   let runs0 = Evaluator.eval_count () in
   let kc0 = Analysis.Transient.counters () in
+  let att0 = Ivc.attempts () and acc0 = Ivc.accepts () in
   let tree, chosen_buf, polarity, repair =
     initial_tree ~config ~tech ~source ~obstacles sinks
   in
@@ -82,17 +101,15 @@ let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
            ~transient_mode:config.Config.transient_mode tree)
     else None
   in
-  let config =
+  let main_hooks =
     match session with
-    | Some s ->
-      { config with
-        Config.evaluator =
-          Some (fun t -> Evaluator.Incremental.refresh ~tree:t s) }
-    | None -> config
+    | Some s -> session_hooks s
+    | None -> plain_hooks config
   in
+  let config = { config with Config.evaluator = Some main_hooks } in
   let evaluate t = Ivc.evaluate config t in
   let trace = ref [] in
-  let last_t = ref (Unix.gettimeofday ()) in
+  let last_t = ref (Monoclock.now ()) in
   (* Every counter in a trace entry is a per-step delta against the value
      seen at the previous [record] (cache stats used to be cumulative
      session totals while the kernel counters were deltas — mixed
@@ -100,8 +117,9 @@ let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
      and [seconds] stay cumulative, as documented. *)
   let last_hits = ref 0 and last_misses = ref 0 in
   let last_kc = ref kc0 in
+  let last_att = ref att0 and last_acc = ref acc0 in
   let record step (ev : Evaluator.t) =
-    let now = Unix.gettimeofday () in
+    let now = Monoclock.now () in
     let hits, misses =
       match session with
       | Some s ->
@@ -130,6 +148,8 @@ let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
         kernel_truncations =
           kc.Analysis.Transient.total_truncations
           - !last_kc.Analysis.Transient.total_truncations;
+        attempts = Ivc.attempts () - !last_att;
+        accepts = Ivc.accepts () - !last_acc;
       }
     in
     trace := entry :: !trace;
@@ -137,6 +157,8 @@ let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
     last_hits := hits;
     last_misses := misses;
     last_kc := kc;
+    last_att := Ivc.attempts ();
+    last_acc := Ivc.accepts ();
     match on_step with Some f -> f entry | None -> ()
   in
   (* Elmore-driven pre-balance (§III-A: simple analytical models first):
@@ -175,6 +197,30 @@ let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
     then (slid, ev)
     else (tree, initial_eval)
   in
+  (* The tree identity is now final for the rest of the flow, so the
+     speculation context can be built over it: [width - 1] replica lanes,
+     each with its own incremental session ([~parallel:false] — the lanes
+     themselves run on the domain pool). [speculation = -1] keeps the
+     legacy copy-based attempts and installs no context. *)
+  let config =
+    if config.Config.speculation < 0 then config
+    else begin
+      let slot_hooks replica =
+        if config.Config.incremental then
+          session_hooks
+            (Evaluator.Incremental.create ~engine:config.Config.engine
+               ~seg_len:config.Config.seg_len ~parallel:false
+               ~transient_step:config.Config.transient_step
+               ~transient_mode:config.Config.transient_mode replica)
+        else plain_hooks config
+      in
+      let spec =
+        Speculate.create ~width:(Config.speculation_width config) ~main:tree
+          ~main_hooks ~slot_hooks ()
+      in
+      { config with Config.spec = Some spec }
+    end
+  in
   let sized = Buffer_sizing.run config tree ~baseline:eval in
   (* Speed-up before slow-down (§III-B): strengthen drivers of critical
      subtrees so less slack has to be burned by the wire steps. *)
@@ -211,5 +257,5 @@ let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
     polarity;
     repair;
     eval_runs = Evaluator.eval_count () - runs0;
-    seconds = Unix.gettimeofday () -. t0;
+    seconds = Monoclock.now () -. t0;
   }

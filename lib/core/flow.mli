@@ -40,6 +40,11 @@ type trace_entry = {
   kernel_truncations : int;
       (** marches that hit their step budget with crossings pending this
           step — the stages behind any [infinity] latencies *)
+  attempts : int;
+      (** IVC candidate attempts during this step (see {!Ivc.attempts});
+          speculative ladder rungs count individually, so the value is
+          identical at every speculation width [>= 0] *)
+  accepts : int;  (** accepted candidates during this step *)
 }
 
 type result = {

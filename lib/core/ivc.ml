@@ -19,75 +19,239 @@ let better obj ~candidate:(c : Evaluator.t) ~baseline:(b : Evaluator.t) =
 
 let violation_free (ev : Evaluator.t) = Evaluator.ok ev
 
-let debug =
-  match Sys.getenv_opt "CONTANGO_DEBUG" with Some ("1" | "true") -> true | _ -> false
+(* A candidate introducing violations loses even if the objective
+   improved; a baseline that already had violations only needs to not
+   get worse. *)
+let ok_violations ~baseline ~candidate =
+  if violation_free baseline then violation_free candidate
+  else
+    candidate.Evaluator.slew_violations <= baseline.Evaluator.slew_violations
+    && (candidate.Evaluator.cap_ok || not baseline.Evaluator.cap_ok)
 
 exception Deadline_exceeded
+
+let check_deadline config =
+  match config.Config.deadline with
+  | Some d when Monoclock.now () > d -> raise Deadline_exceeded
+  | _ -> ()
+
+(* Atomic: whole flows fan out over domains in the suite runner, and the
+   speculative candidate evaluations themselves run on the pool. *)
+let attempts_counter = Atomic.make 0
+let accepts_counter = Atomic.make 0
+let attempts () = Atomic.get attempts_counter
+let accepts () = Atomic.get accepts_counter
+
+let hooks config =
+  match config.Config.evaluator with
+  | Some h -> h
+  | None ->
+    { Speculate.eval =
+        (fun ?edits:_ t ->
+          Evaluator.evaluate ~engine:config.Config.engine
+            ~seg_len:config.Config.seg_len
+            ~transient_step:config.Config.transient_step
+            ~transient_mode:config.Config.transient_mode t);
+      note = (fun ~edits:_ ~new_revision:_ -> ()) }
 
 (* Every CNE in the optimization loops funnels through here so that Flow
    can swap in an incremental session for the whole run — which also makes
    it the natural cooperative cancellation point: a run that overruns its
    wall-clock budget is caught before the next evaluation rather than
    killed mid-solve, so the tree and telemetry stay consistent. *)
-let evaluate config tree =
-  (match config.Config.deadline with
-  | Some d when Unix.gettimeofday () > d -> raise Deadline_exceeded
-  | _ -> ());
-  match config.Config.evaluator with
-  | Some f -> f tree
-  | None ->
-    Evaluator.evaluate ~engine:config.Config.engine
-      ~seg_len:config.Config.seg_len
-      ~transient_step:config.Config.transient_step
-      ~transient_mode:config.Config.transient_mode tree
+let evaluate ?journal config tree =
+  check_deadline config;
+  let h = hooks config in
+  match Option.bind journal Speculate.hint_of_journal with
+  | Some hint -> h.Speculate.eval ~edits:hint tree
+  | None -> h.Speculate.eval tree
 
-let attempt config tree ~baseline ~objective mutate =
-  let snapshot = Tree.copy tree in
-  mutate tree;
-  let candidate = evaluate config tree in
-  if debug then
-    Format.eprintf "[ivc] base skew=%.3f clr=%.3f sv=%d | cand skew=%.3f clr=%.3f sv=%d capok=%b@."
+let rollback config tree j =
+  let h = hooks config in
+  let edits =
+    match Speculate.hint_of_journal j with
+    | Some _ ->
+      Some
+        { Evaluator.base_revision = Tree.revision tree;
+          nodes = Tree.Journal.touched j }
+    | None -> None
+  in
+  Tree.Journal.rollback j;
+  h.Speculate.note ~edits ~new_revision:(Tree.revision tree)
+
+let debug_decision config ~baseline ~candidate =
+  if config.Config.debug then
+    Format.eprintf
+      "[ivc] base skew=%.3f clr=%.3f sv=%d | cand skew=%.3f clr=%.3f sv=%d capok=%b@."
       baseline.Evaluator.skew baseline.Evaluator.clr
       baseline.Evaluator.slew_violations candidate.Evaluator.skew
       candidate.Evaluator.clr candidate.Evaluator.slew_violations
-      candidate.Evaluator.cap_ok;
-  let ok_violations =
-    if violation_free baseline then violation_free candidate
-    else
-      candidate.Evaluator.slew_violations <= baseline.Evaluator.slew_violations
-      && (candidate.Evaluator.cap_ok || not baseline.Evaluator.cap_ok)
-  in
-  if ok_violations && better objective ~candidate ~baseline then Ok candidate
+      candidate.Evaluator.cap_ok
+
+(* Legacy (PR 3-style) attempt: full-tree snapshot, full-tree restore.
+   Kept behind [speculation = -1] as the benchmark baseline and escape
+   hatch; no journal, no session notes — rejected attempts leave the
+   session's anchor behind and force full extractions, exactly as
+   before. *)
+let legacy_attempt config tree ~baseline ~objective mutate =
+  Atomic.incr attempts_counter;
+  let snapshot = Tree.copy tree in
+  mutate tree;
+  let candidate = evaluate config tree in
+  debug_decision config ~baseline ~candidate;
+  if
+    ok_violations ~baseline ~candidate
+    && better objective ~candidate ~baseline
+  then begin
+    Atomic.incr accepts_counter;
+    Ok candidate
+  end
   else begin
     Tree.assign ~dst:tree ~src:snapshot;
     Error
-      (if not ok_violations then "violations introduced"
+      (if not (ok_violations ~baseline ~candidate) then
+         "violations introduced"
        else "no improvement")
   end
 
-let iterate config tree ~baseline ~objective mutate =
-  let rec go baseline accepted round =
-    if round >= config.Config.max_rounds then (baseline, accepted)
-    else
-      match
-        attempt config tree ~baseline ~objective (fun t -> mutate t baseline)
-      with
-      | Ok ev -> go ev (accepted + 1) (round + 1)
-      | Error _ -> (baseline, accepted)
-  in
-  go baseline 0 0
+let journal_attempt config tree ~baseline ~objective mutate =
+  Atomic.incr attempts_counter;
+  let h = hooks config in
+  let j = Tree.Journal.start tree in
+  match
+    mutate tree;
+    evaluate ~journal:j config tree
+  with
+  | exception e ->
+    (try rollback config tree j
+     with Invalid_argument _ ->
+       Tree.Journal.abandon j;
+       h.Speculate.note ~edits:None ~new_revision:(Tree.revision tree));
+    raise e
+  | candidate ->
+    debug_decision config ~baseline ~candidate;
+    if
+      ok_violations ~baseline ~candidate
+      && better objective ~candidate ~baseline
+    then begin
+      Atomic.incr accepts_counter;
+      Tree.Journal.commit j;
+      Ok candidate
+    end
+    else begin
+      rollback config tree j;
+      Error
+        (if not (ok_violations ~baseline ~candidate) then
+           "violations introduced"
+         else "no improvement")
+    end
 
-let adaptive_iterate config tree ~baseline ~objective mutate =
-  let rec go baseline accepted attempts scale fails =
-    if attempts >= config.Config.max_rounds || fails >= 4 || scale < 0.01 then
-      (baseline, accepted, attempts)
-    else
-      match
-        attempt config tree ~baseline ~objective (fun t ->
-            mutate ~scale t baseline)
-      with
-      | Ok ev ->
-        go ev (accepted + 1) (attempts + 1) (Float.min 1. (scale *. 1.3)) 0
-      | Error _ -> go baseline accepted (attempts + 1) (scale /. 2.) (fails + 1)
+let attempt config tree ~baseline ~objective mutate =
+  if config.Config.speculation < 0 then
+    legacy_attempt config tree ~baseline ~objective mutate
+  else journal_attempt config tree ~baseline ~objective mutate
+
+(* The speculation context for a pass: the flow's, when the pass operates
+   on the flow's main tree; otherwise a serial journaled context over the
+   given tree (direct pass invocations, tests). *)
+let ctx_for config tree =
+  match config.Config.spec with
+  | Some ctx when Speculate.main ctx == tree -> ctx
+  | _ -> Speculate.serial ~main:tree ~hooks:(hooks config)
+
+let speculate config tree ~baseline ~objective candidates =
+  check_deadline config;
+  let ctx = ctx_for config tree in
+  ignore (Atomic.fetch_and_add attempts_counter (Array.length candidates));
+  (* Deterministic winner: the lowest-indexed survivor of the IVC
+     acceptance rule. Candidates arrive ordered by preference (the scale
+     ladder puts the largest scale first), so acceptance is a pure
+     function of candidate order — independent of the speculation width
+     and of domain scheduling. Serial exploration stops at the winner;
+     wider contexts precompute would-be-discarded rungs in parallel. *)
+  let accept { Speculate.ev = candidate; _ } =
+    debug_decision config ~baseline ~candidate;
+    ok_violations ~baseline ~candidate && better objective ~candidate ~baseline
   in
-  go baseline 0 0 1.0 0
+  match Speculate.explore_first ctx candidates ~accept with
+  | None -> None
+  | Some (i, outcome) ->
+    Atomic.incr accepts_counter;
+    Speculate.commit ctx outcome;
+    Some (i, outcome.Speculate.ev)
+
+let iterate config tree ~baseline ~objective plan =
+  if config.Config.speculation < 0 then
+    let rec go baseline accepted round =
+      if round >= config.Config.max_rounds then (baseline, accepted)
+      else
+        match
+          legacy_attempt config tree ~baseline ~objective (fun t ->
+              (plan t baseline) t)
+        with
+        | Ok ev -> go ev (accepted + 1) (round + 1)
+        | Error _ -> (baseline, accepted)
+    in
+    go baseline 0 0
+  else
+    let rec go baseline accepted round =
+      if round >= config.Config.max_rounds then (baseline, accepted)
+      else begin
+        let apply = plan tree baseline in
+        match speculate config tree ~baseline ~objective [| apply |] with
+        | Some (_, ev) -> go ev (accepted + 1) (round + 1)
+        | None -> (baseline, accepted)
+      end
+    in
+    go baseline 0 0
+
+(* The speculative scale ladder: instead of discovering the right damping
+   one CNE at a time (try s, reject, halve, retry …), evaluate the whole
+   ladder as one candidate batch and keep the best survivor. The ladder
+   is a fixed function of the current scale, so the evaluation schedule —
+   and with it the eval count and the final tree — is identical at every
+   speculation width. *)
+let ladder scale = [| scale; scale /. 2.; scale /. 4.; scale /. 8. |]
+
+let adaptive_iterate config tree ~baseline ~objective plan =
+  if config.Config.speculation < 0 then
+    let rec go baseline accepted attempts scale fails =
+      if attempts >= config.Config.max_rounds || fails >= 4 || scale < 0.01
+      then (baseline, accepted, attempts)
+      else
+        match
+          legacy_attempt config tree ~baseline ~objective (fun t ->
+              (plan t baseline) ~scale t)
+        with
+        | Ok ev ->
+          go ev (accepted + 1) (attempts + 1) (Float.min 1. (scale *. 1.3)) 0
+        | Error _ ->
+          go baseline accepted (attempts + 1) (scale /. 2.) (fails + 1)
+    in
+    go baseline 0 0 1.0 0
+  else
+    let rec go baseline accepted attempts scale =
+      if attempts >= config.Config.max_rounds || scale < 0.01 then
+        (baseline, accepted, attempts)
+      else begin
+        (* One plan per round, on the (unmutated) main tree: the O(n)
+           slack/sensitivity analysis is hoisted out of the K-candidate
+           fan-out; the returned closure only applies precomputed edits,
+           which is valid on any content-identical replica. *)
+        let apply = plan tree baseline in
+        let rungs = ladder scale in
+        let candidates =
+          Array.map (fun s t -> apply ~scale:s t) rungs
+        in
+        let k = Array.length rungs in
+        match speculate config tree ~baseline ~objective candidates with
+        | Some (i, ev) ->
+          go ev (accepted + 1) (attempts + k)
+            (Float.min 1. (rungs.(i) *. 1.3))
+        | None ->
+          (* No rung survived: the ladder already explored four halvings,
+             the serial loop's give-up condition. *)
+          (baseline, accepted, attempts + k)
+      end
+    in
+    go baseline 0 0 1.0

@@ -1,9 +1,21 @@
 (** Improvement- & Violation-Checking (the IVC boxes of Fig. 1).
 
-    Every optimization round mutates the tree, re-evaluates it, and keeps
-    the change only when the objective improved without introducing slew
-    or capacitance violations; otherwise the tree is rolled back and the
-    flow moves on. *)
+    Every optimization round produces candidate mutations, re-evaluates
+    them, and keeps a change only when the objective improved without
+    introducing slew or capacitance violations; otherwise the tree is
+    rolled back and the flow moves on.
+
+    Candidate exploration is speculative: each candidate runs under a
+    {!Ctree.Tree.Journal} (rollback is O(edit), never a tree copy) and —
+    when {!Flow} installed a {!Speculate} context — candidates are
+    evaluated concurrently on per-lane tree replicas. Winner selection
+    is deterministic: the lowest-indexed candidate passing the IVC
+    acceptance rule, a pure function of candidate order — so every
+    speculation width [>= 0] produces bit-identical trees and
+    evaluations. Width changes only wall-clock time and how many losing
+    candidates get evaluated before being discarded (serial exploration
+    stops at the winner). [Config.speculation = -1] restores the legacy
+    copy-based serial loop as a benchmark baseline. *)
 
 type objective =
   | Skew   (** nominal skew, CLR as tie-breaker *)
@@ -16,49 +28,96 @@ val better :
   objective -> candidate:Analysis.Evaluator.t -> baseline:Analysis.Evaluator.t ->
   bool
 
-(** Raised by {!evaluate} when [config.deadline] has passed — the
-    cooperative cancellation used by the suite runner's per-instance
-    wall-clock budget. The tree is left exactly as the last completed
-    evaluation saw it. *)
+(** Raised by {!evaluate} (and the speculative loops, once per round)
+    when [config.deadline] has passed on the monotonic clock
+    ({!Monoclock.now} scale) — the cooperative cancellation used by the
+    suite runner's per-instance wall-clock budget. The tree is left
+    exactly as the last completed evaluation saw it. *)
 exception Deadline_exceeded
+
+(** Process-wide counters of candidate attempts and accepted candidates
+    across every IVC loop (atomic: flows and speculative evaluations run
+    on domains). {!Flow} reports per-step deltas in its trace. *)
+val attempts : unit -> int
+
+val accepts : unit -> int
 
 (** The configured evaluation: [config.evaluator] when set (Flow points it
     at an incremental session), otherwise a from-scratch
     [Evaluator.evaluate ~engine ~seg_len]. Optimization passes should call
-    this instead of {!Analysis.Evaluator.evaluate} directly.
+    this instead of {!Analysis.Evaluator.evaluate} directly. [?journal]
+    forwards the journal's dirty hint to the session when the journaled
+    edit qualifies (value-only and consistent).
     @raise Deadline_exceeded when [config.deadline] is in the past. *)
-val evaluate : Config.t -> Ctree.Tree.t -> Analysis.Evaluator.t
+val evaluate :
+  ?journal:Ctree.Tree.journal -> Config.t -> Ctree.Tree.t ->
+  Analysis.Evaluator.t
 
-(** [attempt config tree ~baseline ~objective mutate] snapshots the tree,
+(** Roll a journal back and report the rollback to the configured
+    session so its dirty-anchor chain stays unbroken. Use this (not
+    {!Ctree.Tree.Journal.rollback} directly) to undo exploratory edits
+    made outside {!attempt} — e.g. probe calibrations.
+    @raise Invalid_argument if the journal is inconsistent. *)
+val rollback : Config.t -> Ctree.Tree.t -> Ctree.Tree.journal -> unit
+
+(** [attempt config tree ~baseline ~objective mutate] opens a journal,
     applies [mutate], re-evaluates, and either keeps the change returning
-    [Ok eval] or rolls the tree back returning [Error reason].
+    [Ok eval] or rolls the journal back returning [Error reason].
 
     A candidate introducing violations is rejected even if the objective
-    improved; a baseline that already had violations only needs to not get
-    worse. *)
+    improved; a baseline that already had violations only needs to not
+    get worse. [mutate] must go through the public {!Ctree.Tree}
+    mutators only (journal invariant). With [config.speculation = -1]
+    the legacy snapshot/restore implementation is used instead and the
+    journal invariant does not apply. *)
 val attempt :
   Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t ->
   objective:objective -> (Ctree.Tree.t -> unit) ->
   (Analysis.Evaluator.t, string) result
 
-(** Run [attempt] in a loop (at most [config.max_rounds] times), feeding
-    each accepted evaluation back as the next baseline. Returns the final
+(** [speculate config tree ~baseline ~objective candidates] explores the
+    candidates speculatively (see {!Speculate.explore_first}),
+    deterministically selects the {e first} survivor in index order —
+    passing the violation rules and strictly better than [baseline]; put
+    the preferred candidate first — and commits it to [tree] (and every
+    replica lane). Returns the winning index and its evaluation, or
+    [None] when no candidate survived. Counts [Array.length candidates]
+    attempts (submitted, identical at every width) and at most one
+    accept.
+    @raise Deadline_exceeded when [config.deadline] is in the past. *)
+val speculate :
+  Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t ->
+  objective:objective -> (Ctree.Tree.t -> unit) array ->
+  (int * Analysis.Evaluator.t) option
+
+(** Run single-candidate rounds (at most [config.max_rounds]), feeding
+    each accepted evaluation back as the next baseline. [plan tree
+    baseline] runs once per round on the un-mutated tree and returns the
+    mutation closure — hoisting the per-round analysis out of the
+    candidate application, which may run on a replica. Returns the final
     evaluation and the number of accepted rounds. *)
 val iterate :
   Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t ->
   objective:objective ->
-  (Ctree.Tree.t -> Analysis.Evaluator.t -> unit) ->
+  (Ctree.Tree.t -> Analysis.Evaluator.t -> Ctree.Tree.t -> unit) ->
   Analysis.Evaluator.t * int
 
-(** Like {!iterate}, but the mutation receives a scale factor in (0, 1]:
-    rejected rounds halve the scale and retry (the linear T_ws/T_wn models
-    overshoot on large slacks — §IV-F notes the accuracy/rounds trade-off
-    of the unit length); accepted rounds grow it back. Stops after
-    [config.max_rounds] total attempts, three consecutive rejections, or
-    when the scale underflows. Returns the final evaluation, accepted
-    rounds, and total attempts. *)
+(** Like {!iterate} with a damping scale: each round plans once, then
+    explores the scale ladder [s, s/2, s/4, s/8] as one speculative
+    candidate batch (the linear T_ws/T_wn models overshoot on large
+    slacks — §IV-F notes the accuracy/rounds trade-off). The first
+    surviving rung wins — serial exploration evaluates the ladder
+    lazily, reproducing the legacy loop's try/halve/retry schedule,
+    while parallel lanes precompute the smaller rungs concurrently. The
+    winning rung's scale grows by 1.3× (capped at 1) for the next
+    round; a round with no survivor stops the loop (the ladder is
+    exactly the serial loop's four halvings). Stops after
+    [config.max_rounds] total submitted candidates or when the scale
+    underflows. Returns the final evaluation, accepted rounds, and
+    total candidate attempts. *)
 val adaptive_iterate :
   Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t ->
   objective:objective ->
-  (scale:float -> Ctree.Tree.t -> Analysis.Evaluator.t -> unit) ->
+  (Ctree.Tree.t -> Analysis.Evaluator.t ->
+   scale:float -> Ctree.Tree.t -> unit) ->
   Analysis.Evaluator.t * int * int

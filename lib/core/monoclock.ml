@@ -1,0 +1,1 @@
+external now : unit -> float = "contango_monoclock_now"

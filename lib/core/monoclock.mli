@@ -1,0 +1,9 @@
+(** Monotonic clock for deadlines.
+
+    [now ()] returns seconds from an arbitrary fixed origin, strictly
+    unaffected by wall-clock steps ([CLOCK_MONOTONIC]); only differences
+    are meaningful. All deadline bookkeeping ({!Config.deadline}, the
+    suite runner's per-instance timeout) uses this clock, so a timeout
+    means "this much run time elapsed" even if the system clock jumps
+    mid-run. *)
+val now : unit -> float

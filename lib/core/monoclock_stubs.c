@@ -1,0 +1,23 @@
+/* Monotonic time for deadline checks: CLOCK_MONOTONIC is immune to
+   wall-clock steps (NTP slews, manual adjustments), so suite timeouts
+   measure elapsed run time, never calendar time.  Falls back to the
+   wall clock only if the monotonic clock is unavailable. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+#include <stddef.h>
+
+CAMLprim value contango_monoclock_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

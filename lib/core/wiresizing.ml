@@ -12,61 +12,68 @@ type result = {
    wires, evaluate once, compare against the Elmore sensitivity
    prediction. Returns (tws, correction) — the paper's scalar (worst
    per-nm latency increase) and the calibration factor for the per-edge
-   sensitivities. *)
+   sensitivities. The probe edits run under a journal: the evaluation
+   gets a dirty hint and the restore is an O(edit) rollback reported to
+   the session, so the calibration does not break its anchor chain. *)
 let estimate_tws config tree ~baseline =
   if Array.length (Tree.tech tree).Tech.wires < 2 then (0., 1.)
   else begin
     let probes =
-      Probes.pick_probes tree ~count:5 ~min_len:20_000 ~eligible:(fun nd ->
-          nd.Tree.wire_class > 0)
+      Probes.pick_probes tree ~count:config.Config.probe_count
+        ~min_len:config.Config.size_probe_min_len
+        ~eligible:(fun nd -> nd.Tree.wire_class > 0)
     in
     if probes = [] then (0., 1.)
     else begin
       let sens = Probes.sensitivities tree in
-      let saved =
-        List.map (fun id -> (id, (Tree.node tree id).Tree.wire_class)) probes
-      in
-      List.iter
-        (fun id ->
-          let nd = Tree.node tree id in
-          Tree.set_wire_class tree id (nd.Tree.wire_class - 1))
-        probes;
-      let after = Ivc.evaluate config tree in
-      let tws = ref 0. and ratio_sum = ref 0. and ratio_n = ref 0 in
-      List.iter
-        (fun id ->
-          let len = float_of_int (Tree.wire_len (Tree.node tree id)) in
-          if len > 0. then begin
-            let measured =
-              Probes.worst_increase tree ~before:baseline ~after id
-            in
-            let predicted = sens.Probes.size_delay.(id) *. len in
-            if measured > 0. then tws := Float.max !tws (measured /. len);
-            if predicted > 1e-6 && measured > 0. then begin
-              ratio_sum := !ratio_sum +. (measured /. predicted);
-              incr ratio_n
-            end
-          end)
-        probes;
-      List.iter (fun (id, wc) -> Tree.set_wire_class tree id wc) saved;
-      let correction =
-        if !ratio_n = 0 then 1.
-        else Float.min 4. (Float.max 0.5 (!ratio_sum /. float_of_int !ratio_n))
-      in
-      (!tws, correction)
+      let j = Tree.Journal.start tree in
+      match
+        List.iter
+          (fun id ->
+            let nd = Tree.node tree id in
+            Tree.set_wire_class tree id (nd.Tree.wire_class - 1))
+          probes;
+        Ivc.evaluate ~journal:j config tree
+      with
+      | exception e ->
+        (try Ivc.rollback config tree j
+         with Invalid_argument _ -> Tree.Journal.abandon j);
+        raise e
+      | after ->
+        let tws = ref 0. and ratio_sum = ref 0. and ratio_n = ref 0 in
+        List.iter
+          (fun id ->
+            let len = float_of_int (Tree.wire_len (Tree.node tree id)) in
+            if len > 0. then begin
+              let measured =
+                Probes.worst_increase tree ~before:baseline ~after id
+              in
+              let predicted = sens.Probes.size_delay.(id) *. len in
+              if measured > 0. then tws := Float.max !tws (measured /. len);
+              if predicted > 1e-6 && measured > 0. then begin
+                ratio_sum := !ratio_sum +. (measured /. predicted);
+                incr ratio_n
+              end
+            end)
+          probes;
+        Ivc.rollback config tree j;
+        let correction =
+          if !ratio_n = 0 then 1.
+          else Float.min 4. (Float.max 0.5 (!ratio_sum /. float_of_int !ratio_n))
+        in
+        (!tws, correction)
     end
   end
 
 (* One top-down pass of Algorithm 1: downsize wires whose slow-down slack
    net of inherited RSlack exceeds the per-edge predicted impact, subject
-   to the remaining slew headroom of their subtree. *)
-let downsizing_pass config tree ~eval ~correction ~scale ~count =
+   to the remaining slew headroom of their subtree. [slacks], [headrooms]
+   and [sens] are precomputed by the round's plan on the un-mutated tree
+   (ids are shared with any content-identical replica this pass runs
+   on). *)
+let downsizing_pass config tree ~slacks ~headrooms ~sens ~correction ~scale
+    ~count =
   let factor = config.Config.damping *. scale in
-  let slacks =
-    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
-  in
-  let headrooms = Probes.subtree_slew_headroom tree eval in
-  let sens = Probes.sensitivities tree in
   let queue = Queue.create () in
   List.iter
     (fun c -> Queue.add (c, 0., 0.) queue)
@@ -101,8 +108,17 @@ let run config tree ~baseline =
     let count = ref 0 in
     let eval, rounds, _attempts =
       Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
-        (fun ~scale t ev ->
-          downsizing_pass config t ~eval:ev ~correction ~scale ~count)
+        (fun t ev ->
+          (* Planned once per round: the O(n) analyses run on the main
+             tree; the scale ladder's candidates only replay the walk. *)
+          let slacks =
+            Slack.combined ~multicorner:config.Config.multicorner_slacks t ev
+          in
+          let headrooms = Probes.subtree_slew_headroom t ev in
+          let sens = Probes.sensitivities t in
+          fun ~scale t ->
+            downsizing_pass config t ~slacks ~headrooms ~sens ~correction
+              ~scale ~count)
     in
     { eval; rounds; downsized = !count; tws }
   end

@@ -14,43 +14,52 @@ type result = {
    Elmore sensitivity prediction. Returns (twn, correction): twn is the
    paper's scalar (worst per-unit latency increase, for reporting), and
    [correction] scales the per-edge sensitivities — clamped to [0.5, 4] so
-   a noisy probe cannot disable the optimizer. *)
+   a noisy probe cannot disable the optimizer. The probe edits run under a
+   journal so the evaluation gets a dirty hint and the restore is an
+   O(edit) rollback reported to the session. *)
 let estimate_twn config tree ~baseline =
   let unit = config.Config.snake_unit in
   let probes =
-    Probes.pick_probes tree ~count:5 ~min_len:5_000 ~eligible:(fun _ -> true)
+    Probes.pick_probes tree ~count:config.Config.probe_count
+      ~min_len:config.Config.snake_probe_min_len ~eligible:(fun _ -> true)
   in
   match probes with
   | [] -> (0., 1.)
   | _ ->
     let sens = Probes.sensitivities tree in
-    List.iter
-      (fun id ->
-        let nd = Tree.node tree id in
-        Tree.set_snake tree id (nd.Tree.snake + unit))
-      probes;
-    let after = Ivc.evaluate config tree in
-    let twn = ref 0. and ratio_sum = ref 0. and ratio_n = ref 0 in
-    List.iter
-      (fun id ->
-        let measured = Probes.worst_increase tree ~before:baseline ~after id in
-        let predicted = sens.Probes.snake_delay.(id) *. float_of_int unit in
-        if measured > 0. then twn := Float.max !twn measured;
-        if predicted > 1e-6 && measured > 0. then begin
-          ratio_sum := !ratio_sum +. (measured /. predicted);
-          incr ratio_n
-        end)
-      probes;
-    List.iter
-      (fun id ->
-        let nd = Tree.node tree id in
-        Tree.set_snake tree id (nd.Tree.snake - unit))
-      probes;
-    let correction =
-      if !ratio_n = 0 then 1.
-      else Float.min 4. (Float.max 0.5 (!ratio_sum /. float_of_int !ratio_n))
-    in
-    (!twn, correction)
+    let j = Tree.Journal.start tree in
+    (match
+       List.iter
+         (fun id ->
+           let nd = Tree.node tree id in
+           Tree.set_snake tree id (nd.Tree.snake + unit))
+         probes;
+       Ivc.evaluate ~journal:j config tree
+     with
+    | exception e ->
+      (try Ivc.rollback config tree j
+       with Invalid_argument _ -> Tree.Journal.abandon j);
+      raise e
+    | after ->
+      let twn = ref 0. and ratio_sum = ref 0. and ratio_n = ref 0 in
+      List.iter
+        (fun id ->
+          let measured =
+            Probes.worst_increase tree ~before:baseline ~after id
+          in
+          let predicted = sens.Probes.snake_delay.(id) *. float_of_int unit in
+          if measured > 0. then twn := Float.max !twn measured;
+          if predicted > 1e-6 && measured > 0. then begin
+            ratio_sum := !ratio_sum +. (measured /. predicted);
+            incr ratio_n
+          end)
+        probes;
+      Ivc.rollback config tree j;
+      let correction =
+        if !ratio_n = 0 then 1.
+        else Float.min 4. (Float.max 0.5 (!ratio_sum /. float_of_int !ratio_n))
+      in
+      (!twn, correction))
 
 (* Snaking units for one wire given the remaining slack budget [available]
    (ps) and the remaining slew headroom of its subtree (ps). Applies the
@@ -78,13 +87,13 @@ let snake_wire config tree nd ~available ~factor ~correction ~sens ~headroom =
     end
   end
 
-let topdown_pass config tree ~eval ~correction ~scale ~count ~added =
+(* [slacks], [headrooms] and [sens] are precomputed by the round's plan on
+   the un-mutated main tree; node ids are shared with any
+   content-identical replica this pass mutates. [count]/[added] are
+   attempt telemetry (every explored candidate counts, as before). *)
+let topdown_pass config tree ~slacks ~headrooms ~sens ~correction ~scale
+    ~count ~added =
   let factor = config.Config.damping *. scale in
-  let slacks =
-    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
-  in
-  let headrooms = Probes.subtree_slew_headroom tree eval in
-  let sens = Probes.sensitivities tree in
   let queue = Queue.create () in
   List.iter
     (fun c -> Queue.add (c, 0., 0.) queue)
@@ -108,13 +117,9 @@ let topdown_pass config tree ~eval ~correction ~scale ~count ~added =
       nd.Tree.children
   done
 
-let bottom_pass config tree ~eval ~correction ~scale ~count ~added =
+let bottom_pass config tree ~slacks ~headrooms ~sens ~correction ~scale
+    ~count ~added =
   let factor = config.Config.damping *. scale in
-  let slacks =
-    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
-  in
-  let headrooms = Probes.subtree_slew_headroom tree eval in
-  let sens = Probes.sensitivities tree in
   Array.iter
     (fun s ->
       let nd = Tree.node tree s in
@@ -135,7 +140,8 @@ let bottom_pass config tree ~eval ~correction ~scale ~count ~added =
    their wires are slew-pinned (tap slew at the limit), strengthen the
    stage driver — recovering headroom — and immediately re-snake in the
    same IVC round (upsizing alone would speed the subtree up and be
-   rejected). *)
+   rejected). Self-contained (runs entirely inside the candidate closure):
+   the re-snaking sensitivities must be computed {e after} the upsizing. *)
 let recovery_pass config tree ~eval ~correction ~scale ~count ~added =
   let tech = Tree.tech tree in
   let slacks =
@@ -169,27 +175,46 @@ let recovery_pass config tree ~eval ~correction ~scale ~count ~added =
           (Tech.Composite.scale buf (1. +. (0.4 *. scale)))
       | _ -> ())
     to_upsize;
-  topdown_pass config tree ~eval ~correction ~scale ~count ~added
+  let slacks =
+    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
+  in
+  let headrooms = Probes.subtree_slew_headroom tree eval in
+  let sens = Probes.sensitivities tree in
+  topdown_pass config tree ~slacks ~headrooms ~sens ~correction ~scale ~count
+    ~added
+
+let plan_arrays config tree eval =
+  let slacks =
+    Slack.combined ~multicorner:config.Config.multicorner_slacks tree eval
+  in
+  let headrooms = Probes.subtree_slew_headroom tree eval in
+  let sens = Probes.sensitivities tree in
+  (slacks, headrooms, sens)
 
 let run config tree ~baseline =
   let twn, correction = estimate_twn config tree ~baseline in
   let count = ref 0 and added = ref 0 in
+  let topdown_plan t ev =
+    let slacks, headrooms, sens = plan_arrays config t ev in
+    fun ~scale t ->
+      topdown_pass config t ~slacks ~headrooms ~sens ~correction ~scale ~count
+        ~added
+  in
   let eval, rounds, _attempts =
     Ivc.adaptive_iterate config tree ~baseline ~objective:Ivc.Skew
-      (fun ~scale t ev ->
-        topdown_pass config t ~eval:ev ~correction ~scale ~count ~added)
+      topdown_plan
   in
   (* Alternate slew-recovery and plain rounds until neither helps. *)
   let eval, extra, _ =
     Ivc.adaptive_iterate config tree ~baseline:eval ~objective:Ivc.Skew
-      (fun ~scale t ev ->
-        recovery_pass config t ~eval:ev ~correction ~scale ~count ~added)
+      (fun _t ev ->
+        fun ~scale t ->
+          recovery_pass config t ~eval:ev ~correction ~scale ~count ~added)
   in
   let eval, more, _ =
     if extra > 0 then
       Ivc.adaptive_iterate config tree ~baseline:eval ~objective:Ivc.Skew
-        (fun ~scale t ev ->
-          topdown_pass config t ~eval:ev ~correction ~scale ~count ~added)
+        topdown_plan
     else (eval, 0, 0)
   in
   { eval; rounds = rounds + extra + more; snaked_wires = !count;

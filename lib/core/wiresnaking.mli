@@ -17,23 +17,32 @@ type result = {
   twn : float;          (** measured worst per-unit latency increase, ps *)
 }
 
-(** Estimate with one extra evaluation (restores the tree): the pair
-    (T_wn, correction) — the paper's scalar and the measured/predicted
-    calibration factor applied to the per-edge sensitivities. *)
+(** Estimate with one extra evaluation (journaled probe edits, O(edit)
+    restore): the pair (T_wn, correction) — the paper's scalar and the
+    measured/predicted calibration factor applied to the per-edge
+    sensitivities. Probe count and minimum site length come from
+    [config.probe_count] / [config.snake_probe_min_len]. *)
 val estimate_twn :
   Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t -> float * float
 
 val run :
   Config.t -> Ctree.Tree.t -> baseline:Analysis.Evaluator.t -> result
 
-(** One top-down snaking pass (no IVC) — exposed for experiments. *)
+(** One top-down snaking pass (no IVC) — exposed for experiments.
+    [slacks], [headrooms] and [sens] are the per-round analyses
+    ({!Slack.combined}, {!Probes.subtree_slew_headroom},
+    {!Probes.sensitivities}), precomputed by the round's plan so the
+    speculative candidates share them. *)
 val topdown_pass :
-  Config.t -> Ctree.Tree.t -> eval:Analysis.Evaluator.t -> correction:float ->
-  scale:float -> count:int ref -> added:int ref -> unit
+  Config.t -> Ctree.Tree.t -> slacks:Slack.t -> headrooms:float array ->
+  sens:Probes.sens -> correction:float -> scale:float -> count:int ref ->
+  added:int ref -> unit
 
 (** A single snaking pass over only the wires feeding sinks, driven by
     per-sink slacks — the wiresnaking half of bottom-level fine-tuning
-    (§IV-G). Used by {!Bottomlevel}. *)
+    (§IV-G). Used by {!Bottomlevel}. Same precomputed-analysis contract
+    as {!topdown_pass}. *)
 val bottom_pass :
-  Config.t -> Ctree.Tree.t -> eval:Analysis.Evaluator.t -> correction:float ->
-  scale:float -> count:int ref -> added:int ref -> unit
+  Config.t -> Ctree.Tree.t -> slacks:Slack.t -> headrooms:float array ->
+  sens:Probes.sens -> correction:float -> scale:float -> count:int ref ->
+  added:int ref -> unit

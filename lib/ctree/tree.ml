@@ -26,7 +26,37 @@ type t = {
   mutable nodes : node array;
   mutable n : int;
   mutable revision : int;
+  mutable journal : journal option;
 }
+
+(* Undo log for speculative edits: one [jrecord] per [touch] site captures
+   the old values of every field that site mutates. Rolling back replays
+   the undo entries newest-first — O(edit), never a full-tree copy. At
+   close time (rollback or commit) a redo log of the final values is
+   captured so the same edit can be replayed onto content-identical
+   replicas of the base tree. *)
+and journal = {
+  j_tree : t;
+  j_base_rev : int;
+  j_base_n : int;
+  mutable j_undo : entry list; (* newest first *)
+  mutable j_ops : int; (* recorded touch sites *)
+  mutable j_value_only : bool; (* no structural edit recorded *)
+  mutable j_touched : int list;
+  mutable j_redo : entry list; (* captured at rollback/commit *)
+  mutable j_closed : bool;
+}
+
+and entry =
+  | E_kind of int * kind
+  | E_parent of int * int
+  | E_children of int * int list
+  | E_wire_class of int * int
+  | E_geom_len of int * int
+  | E_snake of int * int
+  | E_route of int * Point.t list
+  | E_n of int
+  | E_nodes of node array (* redo only: copies of appended nodes *)
 
 let dummy_node =
   { id = -1; kind = Internal; pos = Point.origin; parent = -1; children = [];
@@ -38,13 +68,25 @@ let create ~tech ~source_pos =
   in
   let nodes = Array.make 64 dummy_node in
   nodes.(0) <- root;
-  { tech; nodes; n = 1; revision = 0 }
+  { tech; nodes; n = 1; revision = 0; journal = None }
 
 let tech t = t.tech
 let root _ = 0
 let size t = t.n
 let revision t = t.revision
 let touch t = t.revision <- t.revision + 1
+
+(* Record one mutation site in the active journal (no-op without one).
+   Must be called exactly once per [touch] so the consistency invariant
+   [revision = base_rev + ops] detects out-of-band mutations. *)
+let jrecord t ?(structural = false) ~touched entries =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    j.j_undo <- List.rev_append entries j.j_undo;
+    j.j_ops <- j.j_ops + 1;
+    if structural then j.j_value_only <- false;
+    j.j_touched <- List.rev_append touched j.j_touched
 
 let node t i =
   if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Tree.node: id %d" i);
@@ -94,6 +136,8 @@ let add_node t ~kind ~pos ~parent ?wire_class ?geom_len
     { id; kind; pos; parent; children = []; wire_class; geom_len; snake = 0;
       bend; route = [] }
   in
+  jrecord t ~structural:true ~touched:[ parent ]
+    [ E_n t.n; E_children (parent, t.nodes.(parent).children) ];
   t.nodes.(id) <- nd;
   t.n <- t.n + 1;
   t.nodes.(parent).children <- t.nodes.(parent).children @ [ id ];
@@ -109,6 +153,8 @@ let set_route t id pts =
     if not (Point.equal first (node t nd.parent).pos && Point.equal last nd.pos)
     then invalid_arg "Tree.set_route: endpoints do not match parent/node"
   | _ -> invalid_arg "Tree.set_route: polyline needs at least two points");
+  jrecord t ~touched:[ id ]
+    [ E_route (id, nd.route); E_geom_len (id, nd.geom_len) ];
   nd.route <- pts;
   nd.geom_len <- polyline_length pts;
   touch t
@@ -196,6 +242,13 @@ let split_wire t id ~at =
       geom_len = polyline_length before; snake = snake_up; bend = nd.bend;
       route = (if List.length before > 2 then before else []) }
   in
+  jrecord t ~structural:true ~touched:[ id; parent ]
+    [ E_n t.n;
+      E_children (parent, t.nodes.(parent).children);
+      E_parent (id, nd.parent);
+      E_geom_len (id, nd.geom_len);
+      E_snake (id, nd.snake);
+      E_route (id, nd.route) ];
   t.nodes.(mid_id) <- mid;
   t.n <- t.n + 1;
   (* Rewire: parent loses [id], gains [mid]. *)
@@ -214,7 +267,9 @@ let split_wire t id ~at =
 
 let insert_buffer_on_wire t id ~at ~buf =
   let mid = split_wire t id ~at in
-  (node t mid).kind <- Buffer buf;
+  let nd = node t mid in
+  jrecord t ~structural:true ~touched:[ mid ] [ E_kind (mid, nd.kind) ];
+  nd.kind <- Buffer buf;
   touch t;
   mid
 
@@ -222,6 +277,7 @@ let remove_buffer t id =
   let nd = node t id in
   match nd.kind with
   | Buffer _ ->
+    jrecord t ~structural:true ~touched:[ id ] [ E_kind (id, nd.kind) ];
     nd.kind <- Internal;
     touch t
   | Source | Internal | Sink _ -> invalid_arg "Tree.remove_buffer: not a buffer"
@@ -230,20 +286,30 @@ let set_buffer t id buf =
   let nd = node t id in
   match nd.kind with
   | Internal | Buffer _ ->
+    (* Rescaling an existing buffer keeps the stage partitioning (a value
+       edit); turning an internal node into a buffer splits a stage. *)
+    let structural = match nd.kind with Internal -> true | _ -> false in
+    jrecord t ~structural ~touched:[ id ] [ E_kind (id, nd.kind) ];
     nd.kind <- Buffer buf;
     touch t
   | Source | Sink _ -> invalid_arg "Tree.set_buffer: source/sink node"
 
 let set_wire_class t id wc =
-  (node t id).wire_class <- wc;
+  let nd = node t id in
+  jrecord t ~touched:[ id ] [ E_wire_class (id, nd.wire_class) ];
+  nd.wire_class <- wc;
   touch t
 
 let set_snake t id snake =
-  (node t id).snake <- snake;
+  let nd = node t id in
+  jrecord t ~touched:[ id ] [ E_snake (id, nd.snake) ];
+  nd.snake <- snake;
   touch t
 
 let set_geom_len t id len =
-  (node t id).geom_len <- len;
+  let nd = node t id in
+  jrecord t ~touched:[ id ] [ E_geom_len (id, nd.geom_len) ];
+  nd.geom_len <- len;
   touch t
 
 let collect t pred =
@@ -284,6 +350,8 @@ let detach t id =
   let nd = node t id in
   if nd.parent < 0 then invalid_arg "Tree.detach: cannot detach the root";
   let pn = t.nodes.(nd.parent) in
+  jrecord t ~structural:true ~touched:[ id; nd.parent ]
+    [ E_children (nd.parent, pn.children); E_parent (id, nd.parent) ];
   pn.children <- List.filter (fun c -> c <> id) pn.children;
   nd.parent <- -1;
   touch t
@@ -292,6 +360,12 @@ let reparent t id ~new_parent =
   let nd = node t id in
   let np = node t new_parent in
   if nd.parent >= 0 then detach t id;
+  jrecord t ~structural:true ~touched:[ id; new_parent ]
+    [ E_parent (id, nd.parent);
+      E_children (new_parent, np.children);
+      E_route (id, nd.route);
+      E_snake (id, nd.snake);
+      E_geom_len (id, nd.geom_len) ];
   nd.parent <- new_parent;
   np.children <- np.children @ [ id ];
   nd.route <- [];
@@ -315,7 +389,9 @@ let compact t =
         })
       order
   in
-  ({ tech = t.tech; nodes; n = Array.length nodes; revision = t.revision }, remap)
+  ( { tech = t.tech; nodes; n = Array.length nodes; revision = t.revision;
+      journal = None },
+    remap )
 
 let inversions t =
   let inv = Array.make t.n 0 in
@@ -340,14 +416,201 @@ let subtree_sinks t id =
 
 let copy_node nd = { nd with children = nd.children }
 
+(* Deep copies are banned from the IVC attempt hot path (journal rollback
+   replaced them); the counter lets tests assert no copy slipped back in. *)
+let copy_counter = Atomic.make 0
+let copies () = Atomic.get copy_counter
+
 let copy t =
+  Atomic.incr copy_counter;
   let nodes = Array.map copy_node (Array.sub t.nodes 0 t.n) in
   let padded =
     if Array.length nodes = 0 then [| dummy_node |] else nodes
   in
-  { tech = t.tech; nodes = padded; n = t.n; revision = t.revision }
+  { tech = t.tech; nodes = padded; n = t.n; revision = t.revision;
+    journal = None }
 
 let assign ~dst ~src =
+  if dst.journal <> None then
+    invalid_arg "Tree.assign: destination has an active journal";
   dst.nodes <- Array.map copy_node (Array.sub src.nodes 0 src.n);
   dst.n <- src.n;
   touch dst
+
+(* 64-bit FNV-1a over the full structural content (ids, topology, kinds,
+   geometry, embeddings). Two trees with equal digests are — up to hash
+   collision — identical inputs to every downstream analysis; the
+   determinism tests compare parallel and serial speculation runs with it. *)
+let digest t =
+  let open Int64 in
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  let mix x = h := mul (logxor !h x) prime in
+  let mix_int i = mix (of_int i) in
+  let mix_float f = mix (bits_of_float f) in
+  let mix_point p =
+    mix_int p.Point.x;
+    mix_int p.Point.y
+  in
+  mix_int t.n;
+  for i = 0 to t.n - 1 do
+    let nd = t.nodes.(i) in
+    (match nd.kind with
+    | Source -> mix_int 1
+    | Internal -> mix_int 2
+    | Buffer b ->
+      mix_int 3;
+      mix_int b.Tech.Composite.count;
+      mix_float (Tech.Composite.c_in b);
+      mix_float (Tech.Composite.r_out b)
+    | Sink s ->
+      mix_int 4;
+      mix_float s.cap;
+      mix_int s.parity);
+    mix_point nd.pos;
+    mix_int nd.parent;
+    List.iter mix_int nd.children;
+    mix_int (-1);
+    mix_int nd.wire_class;
+    mix_int nd.geom_len;
+    mix_int nd.snake;
+    mix_int (match nd.bend with Segment.L.XY -> 0 | Segment.L.YX -> 1);
+    List.iter mix_point nd.route;
+    mix_int (-2)
+  done;
+  !h
+
+module Journal = struct
+  let start tree =
+    (match tree.journal with
+    | Some _ -> invalid_arg "Tree.Journal.start: a journal is already active"
+    | None -> ());
+    let j =
+      { j_tree = tree; j_base_rev = tree.revision; j_base_n = tree.n;
+        j_undo = []; j_ops = 0; j_value_only = true; j_touched = [];
+        j_redo = []; j_closed = false }
+    in
+    tree.journal <- Some j;
+    j
+
+  let base_revision j = j.j_base_rev
+  let ops j = j.j_ops
+  let value_only j = j.j_value_only
+  let touched j = List.sort_uniq compare j.j_touched
+
+  (* Every mutation since [start] went through a journaled mutator: each
+     one bumped [revision] exactly once and recorded exactly one op.
+     Direct field writes or bare [touch] calls break the equality — such
+     a journal must not be rolled back (the undo log is incomplete) and
+     its touched set must not be trusted as a dirty hint. *)
+  let consistent j = j.j_tree.revision = j.j_base_rev + j.j_ops
+
+  let apply_undo t = function
+    | E_kind (i, k) -> t.nodes.(i).kind <- k
+    | E_parent (i, p) -> t.nodes.(i).parent <- p
+    | E_children (i, c) -> t.nodes.(i).children <- c
+    | E_wire_class (i, w) -> t.nodes.(i).wire_class <- w
+    | E_geom_len (i, l) -> t.nodes.(i).geom_len <- l
+    | E_snake (i, s) -> t.nodes.(i).snake <- s
+    | E_route (i, r) -> t.nodes.(i).route <- r
+    | E_n n -> t.n <- n
+    | E_nodes _ -> ()
+
+  (* Final values for every (node, field) the journal touched, plus copies
+     of appended nodes — enough to replay the net edit onto any tree that
+     is content-identical to the base state. *)
+  let capture_redo j =
+    let t = j.j_tree in
+    let seen = Hashtbl.create 16 in
+    let redo = ref [] in
+    List.iter
+      (fun e ->
+        let key =
+          match e with
+          | E_kind (i, _) -> Some (0, i)
+          | E_parent (i, _) -> Some (1, i)
+          | E_children (i, _) -> Some (2, i)
+          | E_wire_class (i, _) -> Some (3, i)
+          | E_geom_len (i, _) -> Some (4, i)
+          | E_snake (i, _) -> Some (5, i)
+          | E_route (i, _) -> Some (6, i)
+          | E_n _ -> Some (7, 0)
+          | E_nodes _ -> None
+        in
+        match key with
+        | None -> ()
+        | Some k ->
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            let cur =
+              match e with
+              | E_kind (i, _) -> E_kind (i, t.nodes.(i).kind)
+              | E_parent (i, _) -> E_parent (i, t.nodes.(i).parent)
+              | E_children (i, _) -> E_children (i, t.nodes.(i).children)
+              | E_wire_class (i, _) -> E_wire_class (i, t.nodes.(i).wire_class)
+              | E_geom_len (i, _) -> E_geom_len (i, t.nodes.(i).geom_len)
+              | E_snake (i, _) -> E_snake (i, t.nodes.(i).snake)
+              | E_route (i, _) -> E_route (i, t.nodes.(i).route)
+              | E_n _ -> E_n t.n
+              | E_nodes _ -> assert false
+            in
+            redo := cur :: !redo
+          end)
+      j.j_undo;
+    if t.n > j.j_base_n then
+      redo :=
+        E_nodes
+          (Array.map copy_node
+             (Array.sub t.nodes j.j_base_n (t.n - j.j_base_n)))
+        :: !redo;
+    !redo
+
+  let detach_journal j =
+    (match j.j_tree.journal with
+    | Some j' when j' == j -> j.j_tree.journal <- None
+    | _ -> ());
+    j.j_closed <- true
+
+  let rollback j =
+    if j.j_closed then invalid_arg "Tree.Journal.rollback: journal closed";
+    let t = j.j_tree in
+    if not (consistent j) then begin
+      detach_journal j;
+      invalid_arg "Tree.Journal.rollback: tree mutated outside the journal"
+    end;
+    j.j_redo <- capture_redo j;
+    List.iter (apply_undo t) j.j_undo;
+    detach_journal j;
+    (* Bump, never restore: the same tree object must not revisit an old
+       revision number after intervening content changes, or revision-keyed
+       memos in the incremental sessions could hit falsely. *)
+    touch t
+
+  let commit j =
+    if j.j_closed then invalid_arg "Tree.Journal.commit: journal closed";
+    j.j_redo <- capture_redo j;
+    detach_journal j
+
+  let abandon j = detach_journal j
+
+  let replay j ~onto =
+    if not j.j_closed then
+      invalid_arg "Tree.Journal.replay: commit or roll back first";
+    if onto.journal <> None then
+      invalid_arg "Tree.Journal.replay: target has an active journal";
+    if onto.n <> j.j_base_n then
+      invalid_arg "Tree.Journal.replay: target size differs from base";
+    List.iter
+      (fun e ->
+        match e with
+        | E_nodes nodes ->
+          Array.iter
+            (fun nd ->
+              grow onto;
+              onto.nodes.(onto.n) <- copy_node nd;
+              onto.n <- onto.n + 1)
+            nodes
+        | e -> apply_undo onto e)
+      j.j_redo;
+    touch onto
+end

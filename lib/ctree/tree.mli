@@ -143,6 +143,84 @@ val compact : t -> t * int array
 (** Deep structural copy (shares only the technology). *)
 val copy : t -> t
 
+(** Process-wide count of {!copy} calls. The IVC attempt hot path must not
+    deep-copy (journal rollback replaced snapshots); tests assert the
+    counter stays flat across attempt/rollback cycles. *)
+val copies : unit -> int
+
 (** Make [dst] structurally identical to [src] (deep). Both must share the
-    same technology. *)
+    same technology. @raise Invalid_argument if [dst] has an active
+    journal. *)
 val assign : dst:t -> src:t -> unit
+
+(** 64-bit FNV-1a content hash over the full structural state (topology,
+    kinds, buffer parameters, geometry, embeddings). Equal digests mean —
+    up to hash collision — identical trees; used by the parallel-vs-serial
+    determinism tests. *)
+val digest : t -> int64
+
+type journal
+
+(** Undo/redo log for speculative edits (IVC attempt/rollback).
+
+    While a journal is active on a tree, every public mutator records the
+    old value of each field it writes, so {!Journal.rollback} restores the
+    exact pre-journal state in O(edit) time instead of a full-tree copy.
+
+    {b Invariant}: between {!Journal.start} and close, the tree must only
+    be mutated through the public mutators of this module. Direct field
+    writes (even followed by a manual {!touch}) make the undo log
+    incomplete; the journal detects the mismatch via
+    [revision = base_revision + ops] and {!Journal.rollback} refuses to
+    run. A bare {!touch} with no field write is equally inconsistent. *)
+module Journal : sig
+  (** Open a journal on a tree. @raise Invalid_argument if one is already
+      active (journals do not nest). *)
+  val start : t -> journal
+
+  (** Revision the tree had when the journal was opened. *)
+  val base_revision : journal -> int
+
+  (** Number of journaled mutation sites recorded so far. *)
+  val ops : journal -> int
+
+  (** [true] while every recorded mutation was a value edit (wire class,
+      snake, geometry, route, buffer rescale) — the stage partitioning of
+      the tree is unchanged, so the touched set below is a sound dirty
+      hint for incremental evaluation. Structural edits (node insertion,
+      buffer insertion/removal, detach/reparent, placing a buffer on an
+      internal node) clear it. *)
+  val value_only : journal -> bool
+
+  (** Sorted, deduplicated ids of the nodes whose parent-wire or kind the
+      journal touched. *)
+  val touched : journal -> int list
+
+  (** [revision tree = base_revision + ops] — no mutation bypassed the
+      journal. Checked by {!rollback}; callers check it before using
+      {!touched} as a dirty hint. *)
+  val consistent : journal -> bool
+
+  (** Undo every recorded mutation (newest first), detach the journal and
+      bump the revision once (the revision is never restored, protecting
+      revision-keyed memos). Captures a redo log first, so {!replay}
+      still works after rollback. @raise Invalid_argument if the journal
+      is closed or {!consistent} is false (the tree is left untouched). *)
+  val rollback : journal -> unit
+
+  (** Keep the mutations, capture the redo log and detach the journal. *)
+  val commit : journal -> unit
+
+  (** Detach the journal without restoring anything — for exception paths
+      where the tree's state is no longer trusted (the caller must
+      resynchronise it, e.g. with {!assign}). *)
+  val abandon : journal -> unit
+
+  (** Re-apply the journal's net effect onto a tree that is
+      content-identical to the journal's base state (e.g. the main tree
+      after the journal ran on a replica). Works after {!rollback} or
+      {!commit}. @raise Invalid_argument if the journal is still open,
+      the target has an active journal, or the target's size differs
+      from the base. *)
+  val replay : journal -> onto:t -> unit
+end

@@ -115,6 +115,8 @@ let step_json (e : Flow.trace_entry) =
       ("kernel_solves", Json.Num (float_of_int e.Flow.kernel_solves));
       ("kernel_saved", Json.Num (float_of_int e.Flow.kernel_saved));
       ("kernel_truncations", Json.Num (float_of_int e.Flow.kernel_truncations));
+      ("attempts", Json.Num (float_of_int e.Flow.attempts));
+      ("accepts", Json.Num (float_of_int e.Flow.accepts));
     ]
 
 let trace_line ~name e =
@@ -128,7 +130,11 @@ let trace_line ~name e =
 
 let run_one ~timeout ~config (spec, trace_path) =
   let name = spec_name spec in
-  let t0 = Unix.gettimeofday () in
+  (* The per-instance budget lives on the monotonic clock — the scale
+     {!Core.Config.deadline} is defined on — so a wall-clock jump (NTP
+     step, suspend) can neither kill a healthy run nor keep a stuck one
+     alive. *)
+  let t0 = Core.Monoclock.now () in
   let deadline = Option.map (fun s -> t0 +. s) timeout in
   let steps = ref [] in
   let oc = open_out trace_path in
@@ -137,7 +143,7 @@ let run_one ~timeout ~config (spec, trace_path) =
       name;
       sinks = spec_sinks spec;
       status;
-      seconds = Unix.gettimeofday () -. t0;
+      seconds = Core.Monoclock.now () -. t0;
       steps = List.rev !steps;
       trace_path;
     }
@@ -176,7 +182,7 @@ let run_one ~timeout ~config (spec, trace_path) =
                })
         | Some d ->
           let rec spin () =
-            if Unix.gettimeofday () > d then raise Core.Ivc.Deadline_exceeded
+            if Core.Monoclock.now () > d then raise Core.Ivc.Deadline_exceeded
             else begin
               Unix.sleepf 0.005;
               spin ()
@@ -222,7 +228,7 @@ let run_one ~timeout ~config (spec, trace_path) =
 let run ?(out_dir = "bench_out") ?timeout ?jobs ?(config = Core.Config.default)
     specs =
   mkdir_p out_dir;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Core.Monoclock.now () in
   (* Unique trace paths even when the same benchmark appears twice. *)
   let seen = Hashtbl.create 8 in
   let jobs_arr =

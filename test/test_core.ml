@@ -327,7 +327,7 @@ let test_ivc_rollback () =
   let result =
     Core.Ivc.attempt config tree ~baseline ~objective:Core.Ivc.Skew (fun t ->
         let s = (Tree.sinks t).(0) in
-        (Tree.node t s).Tree.snake <- (Tree.node t s).Tree.snake + 3_000_000)
+        Tree.set_snake t s ((Tree.node t s).Tree.snake + 3_000_000))
   in
   check_bool "rejected" true (Result.is_error result);
   check_int "size restored" before (Tree.size tree);
@@ -348,8 +348,7 @@ let test_ivc_accepts_improvement () =
   in
   let result =
     Core.Ivc.attempt config tree ~baseline ~objective:Core.Ivc.Skew (fun t ->
-        (Tree.node t fastest).Tree.snake <-
-          (Tree.node t fastest).Tree.snake + 100_000)
+        Tree.set_snake t fastest ((Tree.node t fastest).Tree.snake + 100_000))
   in
   check_bool "accepted" true (Result.is_ok result)
 
