@@ -308,10 +308,7 @@ let write_json results table5_rows =
       ]
   in
   let path = Filename.concat out_dir "results.json" in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string json));
+  Core.Persist.write_atomic path (to_string json);
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -529,10 +526,7 @@ let evaluator_bench () =
       ]
   in
   let path = Filename.concat out_dir "evaluator_bench.json" in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string json));
+  Core.Persist.write_atomic path (to_string json);
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -918,10 +912,7 @@ let pass_bench () =
       ]
   in
   let path = Filename.concat out_dir "pass_bench.json" in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string json));
+  Core.Persist.write_atomic path (to_string json);
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -952,9 +943,9 @@ let () =
     write_json results table5_rows;
     (* Deterministic eval-run total of the Table V suite — the CI
        regression guard diffs this against bench/eval_baseline.txt. *)
-    let oc = open_out (Filename.concat out_dir "eval_total.txt") in
-    Printf.fprintf oc "%d\n" table5_evals;
-    close_out oc;
+    Core.Persist.write_atomic
+      (Filename.concat out_dir "eval_total.txt")
+      (Printf.sprintf "%d\n" table5_evals);
     fig1 results;
     fig2 ();
     fig3 results;

@@ -24,7 +24,14 @@ let engine_conv =
   in
   Arg.conv (parse, print)
 
-let load_bench = Suite.Runner.load_bench
+(* Benchmark loading/parse problems are user errors with file:line
+   diagnostics, not crashes — print them cleanly instead of dying with a
+   backtrace. *)
+let load_bench s =
+  try Suite.Runner.load_bench s
+  with Failure msg ->
+    Printf.eprintf "contango: %s\n" msg;
+    exit 2
 
 let config_of ?second_pass_skew ?speculation ?probe_count ?size_probe_min_len
     ?snake_probe_min_len ~engine () =
@@ -129,17 +136,36 @@ let run_cmd =
                    pass. Use inf to disable the second pass, a negative \
                    value to force it.")
   in
+  let checkpoints =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoints" ] ~docv:"DIR"
+             ~doc:"Write a verified checkpoint to $(docv) after every \
+                   completed flow stage (atomic, checksummed).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"DIR"
+             ~doc:"Resume from the latest verified checkpoint in $(docv), \
+                   skipping completed stages, and keep checkpointing \
+                   there. Runs from scratch when $(docv) has no loadable \
+                   checkpoint.")
+  in
   let run spec engine second_pass_skew speculation probe_count
-      size_probe_min_len snake_probe_min_len svg =
+      size_probe_min_len snake_probe_min_len checkpoints resume svg =
     let b = load_bench spec in
     let config =
       config_of ?second_pass_skew ?speculation ?probe_count
         ?size_probe_min_len ?snake_probe_min_len ~engine ()
     in
+    let checkpoint_dir, resume_on =
+      match resume with
+      | Some dir -> (Some dir, true)
+      | None -> (checkpoints, false)
+    in
     let r =
-      Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
-        ~source:b.Suite.Format_io.source ~obstacles:b.Suite.Format_io.obstacles
-        b.Suite.Format_io.sinks
+      Core.Flow.run ~config ?checkpoint_dir ~resume:resume_on
+        ~tech:b.Suite.Format_io.tech ~source:b.Suite.Format_io.source
+        ~obstacles:b.Suite.Format_io.obstacles b.Suite.Format_io.sinks
     in
     Printf.printf "benchmark %s (%d sinks)\n" b.Suite.Format_io.name
       (Array.length b.Suite.Format_io.sinks);
@@ -149,6 +175,12 @@ let run_cmd =
           (Core.Flow.step_name e.Core.Flow.step) e.Core.Flow.skew
           e.Core.Flow.clr e.Core.Flow.eval_runs e.Core.Flow.seconds)
       r.Core.Flow.trace;
+    List.iter
+      (fun (i : Core.Flow.incident) ->
+        Printf.printf "incident %-8s attempt %d [%s] %s\n"
+          (Core.Flow.step_name i.Core.Flow.inc_step) i.Core.Flow.inc_attempt
+          i.Core.Flow.inc_action i.Core.Flow.inc_error)
+      r.Core.Flow.incidents;
     let stats = r.Core.Flow.final.Ev.stats in
     Printf.printf "buffers %d  wirelength %.2f mm  cap %.1f pF (%s of limit)\n"
       stats.Ctree.Stats.buffer_count
@@ -182,7 +214,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run the full Contango flow on a benchmark.")
     Term.(const run $ spec $ engine $ second_pass_skew $ speculate_arg
           $ probe_count_arg $ size_probe_min_len_arg $ snake_probe_min_len_arg
-          $ svg)
+          $ checkpoints $ resume $ svg)
 
 (* suite *)
 let suite_cmd =
@@ -235,15 +267,42 @@ let suite_cmd =
          & info [ "tol-clr" ] ~docv:"PS"
              ~doc:"CLR regression tolerance for --baseline.")
   in
+  let checkpoints =
+    Arg.(value & flag
+         & info [ "checkpoints" ]
+             ~doc:"Write verified per-stage checkpoints to \
+                   <out-dir>/checkpoints/<name>/ for every instance \
+                   (atomic, checksummed) so an interrupted suite can be \
+                   resumed with --resume.")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"DIR"
+             ~doc:"Resume each instance from its latest verified \
+                   checkpoint under $(docv)/checkpoints, skipping \
+                   completed stages (instances without checkpoints run \
+                   from scratch), and keep checkpointing there.")
+  in
   let run specs out_dir timeout jobs engine second_pass_skew speculation
       probe_count size_probe_min_len snake_probe_min_len baseline tol_skew
-      tol_clr =
+      tol_clr checkpoints resume =
     let specs = List.map Suite.Runner.spec_of_string specs in
     let config =
       config_of ?second_pass_skew ?speculation ?probe_count
         ?size_probe_min_len ?snake_probe_min_len ~engine ()
     in
-    let result = Suite.Runner.run ~out_dir ?timeout ?jobs ~config specs in
+    let checkpoints_root, resume_on =
+      match resume with
+      | Some dir -> (Some (Filename.concat dir "checkpoints"), true)
+      | None ->
+        ((if checkpoints then Some (Filename.concat out_dir "checkpoints")
+          else None),
+         false)
+    in
+    let result =
+      Suite.Runner.run ~out_dir ?timeout ?jobs ~config
+        ?checkpoints:checkpoints_root ~resume:resume_on specs
+    in
     print_string (Suite.Runner.summary_table result);
     let path = Suite.Runner.write_suite_json result in
     Printf.printf "wrote %s\n" path;
@@ -276,7 +335,7 @@ let suite_cmd =
     Term.(const run $ specs $ out_dir $ timeout $ jobs $ engine
           $ second_pass_skew $ speculate_arg $ probe_count_arg
           $ size_probe_min_len_arg $ snake_probe_min_len_arg $ baseline
-          $ tol_skew $ tol_clr)
+          $ tol_skew $ tol_clr $ checkpoints $ resume)
 
 (* eval (baseline) *)
 let eval_cmd =

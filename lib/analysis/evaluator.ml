@@ -175,6 +175,17 @@ let summarize tree runs =
     hi -. lo
   in
   let clr = Float.max (clr_of Rise) (clr_of Fall) in
+  (* Last line of defence: a NaN here would silently disable every
+     downstream comparison (minimax selection, violation gates). Infinity
+     is allowed — truncated transient marches report it intentionally. *)
+  let t_min = Float.min lo_r lo_f and t_max = Float.max hi_r hi_f in
+  if
+    Float.is_nan skew_rise || Float.is_nan skew_fall || Float.is_nan clr
+    || Float.is_nan t_min || Float.is_nan t_max
+  then
+    Numerics.fail
+      "evaluator summarize: NaN summary (skew_r=%g skew_f=%g clr=%g)"
+      skew_rise skew_fall clr;
   let slew_violations =
     List.fold_left
       (fun acc r ->
@@ -193,8 +204,8 @@ let summarize tree runs =
     skew_rise;
     skew_fall;
     skew = Float.max skew_rise skew_fall;
-    t_min = Float.min lo_r lo_f;
-    t_max = Float.max hi_r hi_f;
+    t_min;
+    t_max;
     clr;
     slew_violations;
     cap_ok = stats.Ctree.Stats.total_cap <= tech.Tech.cap_limit;

@@ -28,6 +28,8 @@ type model =
   | Two_pole of { p1 : float; p2 : float; k1 : float; k2 : float }
 
 let fit ~m1 ~m2 ~m3 =
+  if Float.is_nan m1 || Float.is_nan m2 || Float.is_nan m3 then
+    Numerics.fail "moment fit: NaN moments (m1=%g m2=%g m3=%g)" m1 m2 m3;
   let denom = m2 -. (m1 *. m1) in
   if denom <= 1e-9 *. m1 *. m1 || m1 <= 0. then One_pole (max m1 1e-6)
   else begin
@@ -94,7 +96,10 @@ let solve (rc : Rcnet.t) ~r_drv ~s_drv =
       let t50 = crossing model ~ramp ~tau_hint 0.5 in
       let t10 = crossing model ~ramp ~tau_hint 0.1 in
       let t90 = crossing model ~ramp ~tau_hint 0.9 in
-      (t50 -. (ramp /. 2.), t90 -. t10))
+      let delay = t50 -. (ramp /. 2.) and slew = t90 -. t10 in
+      if Float.is_nan delay || Float.is_nan slew then
+        Numerics.fail "moment solve: NaN result at tap node %d" i;
+      (delay, slew))
     rc.taps
 
 (* Ramp-response value and slope at t, sharing the exponentials between
@@ -125,6 +130,9 @@ let ramp_point model ~ramp t =
    rule (Newton step below 1e-12) is certified by the bisection fallback:
    if Newton cannot shrink its step, the bracket finishes the job. *)
 let crossing_newton model ~ramp ~lo0 ~hi0 threshold =
+  if Float.is_nan lo0 || Float.is_nan hi0 then
+    Numerics.fail "moment crossing: NaN bracket [%g, %g] at threshold %g"
+      lo0 hi0 threshold;
   let lo = ref lo0 and hi = ref hi0 in
   let t = ref (0.5 *. (lo0 +. hi0)) in
   let result = ref nan in
@@ -145,12 +153,19 @@ let crossing_newton model ~ramp ~lo0 ~hi0 threshold =
     end
   done;
   if Float.is_nan !result then begin
+    (* Newton exhausted its iterations without certifying a root; the
+       maintained bracket still holds one, so finish by bisection. *)
     for _ = 1 to 64 do
       let mid = 0.5 *. (!lo +. !hi) in
       if fst (ramp_point model ~ramp mid) < threshold then lo := mid
       else hi := mid
     done;
-    0.5 *. (!lo +. !hi)
+    let r = 0.5 *. (!lo +. !hi) in
+    if Float.is_nan r then
+      Numerics.fail
+        "moment crossing: bisection fallback produced NaN at threshold %g"
+        threshold;
+    r
   end
   else !result
 
@@ -176,5 +191,8 @@ let solve_fast (rc : Rcnet.t) ~r_drv ~s_drv =
       let t10 = crossing_newton model ~ramp ~lo0:0. ~hi0:!hi 0.1 in
       let t50 = crossing_newton model ~ramp ~lo0:t10 ~hi0:!hi 0.5 in
       let t90 = crossing_newton model ~ramp ~lo0:t50 ~hi0:!hi 0.9 in
-      (t50 -. (ramp /. 2.), t90 -. t10))
+      let delay = t50 -. (ramp /. 2.) and slew = t90 -. t10 in
+      if Float.is_nan delay || Float.is_nan slew then
+        Numerics.fail "moment solve_fast: NaN result at tap node %d" i;
+      (delay, slew))
     rc.taps

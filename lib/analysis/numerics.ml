@@ -1,0 +1,24 @@
+(* Typed escape hatch for numerical blow-ups.
+
+   The transient kernel, the moment-matching models and the evaluator all
+   produce floats that feed directly into skew/CLR; a NaN anywhere in
+   that chain silently poisons every downstream comparison (NaN compares
+   false, so violation counters and minimax loops just stop seeing the
+   affected sinks). Instead of letting a non-finite result leak into a
+   report, the analysis layer raises [Numerical_failure] at the point of
+   origin. The flow layer catches it at stage granularity, rolls back to
+   the last verified checkpoint and retries in degraded mode.
+
+   Infinity is NOT treated as a failure: the adaptive transient kernel
+   intentionally returns [(infinity, infinity)] for truncated marches,
+   and the minimax machinery handles it. Only NaN is poison. *)
+
+exception Numerical_failure of string
+
+let () =
+  Printexc.register_printer (function
+    | Numerical_failure m -> Some (Printf.sprintf "Numerical_failure(%s)" m)
+    | _ -> None)
+
+let fail fmt =
+  Printf.ksprintf (fun m -> raise (Numerical_failure m)) fmt

@@ -1,0 +1,14 @@
+(** Typed escape hatch for numerical blow-ups in the analysis layer.
+
+    Raised by {!Transient}, {!Moments} and {!Evaluator} when a NaN would
+    otherwise leak into latency/slew/skew (NaN comparisons are all false,
+    so a leaked NaN silently disables violation counting and minimax
+    selection downstream). Infinity is not a failure — truncated
+    transient marches intentionally report [infinity]; only NaN is
+    poison. The flow layer catches this per stage and retries in
+    degraded mode. *)
+
+exception Numerical_failure of string
+
+(** [fail fmt ...] raises {!Numerical_failure} with a formatted message. *)
+val fail : ('a, unit, string, 'b) format4 -> 'a

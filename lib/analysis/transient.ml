@@ -487,15 +487,29 @@ let solve ?step ?mode ?factored ?fcache ?fp ?ws (rc : Rcnet.t) ~r_drv ~s_drv =
   let ntaps = Array.length rc.taps in
   let watch = Array.map fst rc.taps in
   let times = Array.make (ntaps * 3) nan in
-  ignore
-    (simulate ?step ?mode ?factored ?fcache ?fp ?ws rc ~r_drv ~s_drv ~watch
-       ~on_cross:(fun w k t -> times.((w * 3) + k) <- t));
+  let res =
+    simulate ?step ?mode ?factored ?fcache ?fp ?ws rc ~r_drv ~s_drv ~watch
+      ~on_cross:(fun w k t -> times.((w * 3) + k) <- t)
+  in
   let ramp = s_drv /. 0.8 in
   Array.init ntaps (fun w ->
       let t10 = times.(w * 3) and t50 = times.((w * 3) + 1)
       and t90 = times.((w * 3) + 2) in
-      if Float.is_nan t90 then (infinity, infinity)
-      else (t50 -. (ramp /. 2.), t90 -. t10))
+      if Float.is_nan t90 then begin
+        (* A truncated march legitimately never reached 90 %; anything
+           else means the waveform itself went non-finite. *)
+        if not res.truncated then
+          Numerics.fail "transient solve: NaN crossing at tap node %d"
+            (fst rc.taps.(w));
+        (infinity, infinity)
+      end
+      else begin
+        let delay = t50 -. (ramp /. 2.) and slew = t90 -. t10 in
+        if Float.is_nan delay || Float.is_nan slew then
+          Numerics.fail "transient solve: NaN result at tap node %d"
+            (fst rc.taps.(w));
+        (delay, slew)
+      end)
 
 let probe ?(step = default_step) ?factored ?fcache ?fp ?ws (rc : Rcnet.t)
     ~r_drv ~s_drv ~node ~times =

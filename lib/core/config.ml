@@ -24,6 +24,8 @@ type t = {
   probe_count : int;
   size_probe_min_len : int;
   snake_probe_min_len : int;
+  max_stage_retries : int;
+  inject_numerical_failures : int;
   debug : bool;
   evaluator : Speculate.hooks option;
   spec : Speculate.t option;
@@ -61,6 +63,8 @@ let default =
     probe_count = 5;
     size_probe_min_len = 20_000;
     snake_probe_min_len = 5_000;
+    max_stage_retries = 2;
+    inject_numerical_failures = 0;
     debug = debug_env;
     evaluator = None;
     spec = None;

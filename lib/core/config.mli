@@ -82,6 +82,18 @@ type t = {
       (** minimum parent-wire length, nm, for a wire-sizing probe site *)
   snake_probe_min_len : int;
       (** minimum parent-wire length, nm, for a snaking probe site *)
+  max_stage_retries : int;
+      (** how many times {!Flow} re-runs a failed stage before giving the
+          failure to the caller. Each retry rolls the tree back to the
+          last verified checkpoint and climbs the degraded-mode ladder
+          (speculation off → fixed-mode halved-step serial evaluation);
+          after a stage succeeds the normal configuration is restored.
+          [0] disables stage retry entirely (failures propagate) *)
+  inject_numerical_failures : int;
+      (** fault-injection knob for tests and drills: after the initial
+          evaluation, the first [n] evaluations raise
+          {!Analysis.Numerics.Numerical_failure} instead of returning.
+          [0] (the default) injects nothing *)
   debug : bool;
       (** per-IVC-decision logging on stderr. Defaults to whether
           [CONTANGO_DEBUG] was set at startup; the suite runner can flip

@@ -10,6 +10,16 @@ let step_name = function
   | Twsn -> "TWSN"
   | Bwsn -> "BWSN"
 
+let step_of_name = function
+  | "INITIAL" -> Some Initial
+  | "TBSZ" -> Some Tbsz
+  | "TWSZ" -> Some Twsz
+  | "TWSN" -> Some Twsn
+  | "BWSN" -> Some Bwsn
+  | _ -> None
+
+let rank = function Initial -> 0 | Tbsz -> 1 | Twsz -> 2 | Twsn -> 3 | Bwsn -> 4
+
 type trace_entry = {
   step : step;
   skew : float;
@@ -27,6 +37,22 @@ type trace_entry = {
   accepts : int;
 }
 
+type incident = {
+  inc_step : step;
+  inc_attempt : int;
+  inc_error : string;
+  inc_action : string;
+}
+
+type stage_meta = {
+  m_step : step;
+  m_skew : float;
+  m_clr : float;
+  m_t_max : float;
+  m_slew_waived : bool;
+  m_cap_waived : bool;
+}
+
 type result = {
   tree : Tree.t;
   trace : trace_entry list;
@@ -34,6 +60,7 @@ type result = {
   chosen_buf : Tech.Composite.t;
   polarity : Polarity.report;
   repair : Route.Repair.report option;
+  incidents : incident list;
   eval_runs : int;
   seconds : float;
 }
@@ -78,36 +105,404 @@ let plain_hooks config =
           ~transient_mode:config.Config.transient_mode t);
     note = (fun ~edits:_ ~new_revision:_ -> ()) }
 
-let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
-    sinks =
+(* ------------------------------------------------------------------ *)
+(* Verified on-disk checkpoints.
+
+   A checkpoint captures everything [run] needs to restart after a
+   completed stage: the flow metadata the pre-optimization stages
+   produced (chosen composite, polarity report, obstacle repair report),
+   the per-stage metrics recorded so far, and the canonical tree text.
+   Files are written atomically with a checksum trailer, so a reader
+   only ever sees a complete, verified snapshot (or none). *)
+
+module Checkpoint = struct
+  type loaded = {
+    ck_step : step;
+    ck_tree : Tree.t;
+    ck_buf : Tech.Composite.t;
+    ck_polarity : Polarity.report;
+    ck_repair : Route.Repair.report option;
+    ck_metas : stage_meta list;
+  }
+
+  (* Same percent-escaping as the tree serializer: names stay a single
+     space-free token. *)
+  let escape s =
+    if s = "" then "%empty%"
+    else begin
+      let buf = Buffer.create (String.length s) in
+      String.iter
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '~' ->
+            Buffer.add_char buf c
+          | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+        s;
+      Buffer.contents buf
+    end
+
+  exception Parse of string
+
+  let unescape s =
+    if s = "%empty%" then ""
+    else begin
+      let buf = Buffer.create (String.length s) in
+      let n = String.length s in
+      let i = ref 0 in
+      while !i < n do
+        if s.[!i] = '%' then begin
+          if !i + 2 >= n then raise (Parse ("truncated escape in " ^ s));
+          (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+          | Some code when code >= 0 && code < 256 ->
+            Buffer.add_char buf (Char.chr code)
+          | _ -> raise (Parse ("bad escape in " ^ s)));
+          i := !i + 3
+        end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents buf
+    end
+
+  let path ~dir step = Filename.concat dir (step_name step ^ ".ckpt")
+
+  let to_string ~step ~tree ~buf ~polarity ~repair ~metas =
+    let b = Buffer.create 4096 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    pf "contango-checkpoint 1\n";
+    pf "step %s\n" (step_name step);
+    let d = buf.Tech.Composite.base in
+    pf "buf %d %s %h %h %h %h %h %h %d\n" buf.Tech.Composite.count
+      (escape d.Tech.Device.name) d.Tech.Device.c_in d.Tech.Device.c_out
+      d.Tech.Device.r_up d.Tech.Device.r_down d.Tech.Device.d_intrinsic
+      d.Tech.Device.slew_coeff
+      (if d.Tech.Device.inverting then 1 else 0);
+    pf "polarity %d %d\n" polarity.Polarity.inverted_before
+      polarity.Polarity.added;
+    (match repair with
+    | None -> ()
+    | Some r ->
+      pf "repair %d %d %d %d %d\n" r.Route.Repair.bend_flips
+        r.Route.Repair.detours r.Route.Repair.drivable_skips
+        r.Route.Repair.reroutes r.Route.Repair.remaining_overlap);
+    List.iter
+      (fun m ->
+        pf "meta %s %h %h %h %d %d\n" (step_name m.m_step) m.m_skew m.m_clr
+          m.m_t_max
+          (if m.m_slew_waived then 1 else 0)
+          (if m.m_cap_waived then 1 else 0))
+      metas;
+    pf "tree\n";
+    Buffer.add_string b (Tree.to_string tree);
+    Buffer.contents b
+
+  let save ~dir ~step ~tree ~buf ~polarity ~repair ~metas =
+    Persist.write_atomic_checked (path ~dir step)
+      (to_string ~step ~tree ~buf ~polarity ~repair ~metas)
+
+  let of_string ~tech text =
+    try
+      let int_ s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> raise (Parse (Printf.sprintf "not an integer: %S" s))
+      in
+      let float_ s =
+        match float_of_string_opt s with
+        | Some v -> v
+        | None -> raise (Parse (Printf.sprintf "not a number: %S" s))
+      in
+      let flag = function
+        | "0" -> false
+        | "1" -> true
+        | s -> raise (Parse (Printf.sprintf "not a flag: %S" s))
+      in
+      let tree_marker = "\ntree\n" in
+      let split_at =
+        if String.length text >= 5 && String.sub text 0 5 = "tree\n" then
+          Some (0, 5)
+        else begin
+          let rec find i =
+            if i + 6 > String.length text then None
+            else if String.sub text i 6 = tree_marker then Some (i + 1, i + 6)
+            else find (i + 1)
+          in
+          find 0
+        end
+      in
+      let header_end, tree_start =
+        match split_at with
+        | Some p -> p
+        | None -> raise (Parse "missing tree section")
+      in
+      let header = String.sub text 0 header_end in
+      let tree_text =
+        String.sub text tree_start (String.length text - tree_start)
+      in
+      let step = ref None and buf = ref None and polarity = ref None in
+      let repair = ref None and metas = ref [] in
+      let versioned = ref false in
+      List.iter
+        (fun line ->
+          match
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          with
+          | [] -> ()
+          | [ "contango-checkpoint"; "1" ] -> versioned := true
+          | "contango-checkpoint" :: _ ->
+            raise (Parse "unsupported checkpoint version")
+          | [ "step"; name ] -> (
+            match step_of_name name with
+            | Some s -> step := Some s
+            | None -> raise (Parse ("unknown step " ^ name)))
+          | [ "buf"; count; name; cin; cout; rup; rdown; dint; slew; inv ]
+            ->
+            let name = unescape name in
+            let c_in = float_ cin and c_out = float_ cout in
+            let r_up = float_ rup and r_down = float_ rdown in
+            let d_intrinsic = float_ dint and slew_coeff = float_ slew in
+            let inverting = flag inv in
+            let matches (d : Tech.Device.t) =
+              d.Tech.Device.name = name
+              && d.Tech.Device.c_in = c_in
+              && d.Tech.Device.c_out = c_out
+              && d.Tech.Device.r_up = r_up
+              && d.Tech.Device.r_down = r_down
+              && d.Tech.Device.d_intrinsic = d_intrinsic
+              && d.Tech.Device.slew_coeff = slew_coeff
+              && d.Tech.Device.inverting = inverting
+            in
+            let dev =
+              match List.find_opt matches tech.Tech.devices with
+              | Some d -> d
+              | None ->
+                Tech.Device.make ~name ~c_in ~c_out ~r_up ~r_down
+                  ~d_intrinsic ~slew_coeff ~inverting ()
+            in
+            buf := Some (Tech.Composite.make dev (int_ count))
+          | [ "polarity"; before; added ] ->
+            polarity :=
+              Some
+                { Polarity.inverted_before = int_ before;
+                  added = int_ added }
+          | [ "repair"; bf; dt; ds; rr; ro ] ->
+            repair :=
+              Some
+                { Route.Repair.bend_flips = int_ bf; detours = int_ dt;
+                  drivable_skips = int_ ds; reroutes = int_ rr;
+                  remaining_overlap = int_ ro }
+          | [ "meta"; name; skew; clr; tmax; sw; cw ] -> (
+            match step_of_name name with
+            | None -> raise (Parse ("unknown meta step " ^ name))
+            | Some s ->
+              metas :=
+                { m_step = s; m_skew = float_ skew; m_clr = float_ clr;
+                  m_t_max = float_ tmax; m_slew_waived = flag sw;
+                  m_cap_waived = flag cw }
+                :: !metas)
+          | d :: _ -> raise (Parse ("unknown checkpoint directive " ^ d)))
+        (String.split_on_char '\n' header);
+      if not !versioned then raise (Parse "missing checkpoint version line");
+      let ck_step =
+        match !step with
+        | Some s -> s
+        | None -> raise (Parse "missing step line")
+      in
+      let ck_buf =
+        match !buf with
+        | Some b -> b
+        | None -> raise (Parse "missing buf line")
+      in
+      let ck_polarity =
+        match !polarity with
+        | Some p -> p
+        | None -> raise (Parse "missing polarity line")
+      in
+      match Tree.of_string ~tech tree_text with
+      | Error e -> Error ("tree section: " ^ e)
+      | Ok ck_tree -> (
+        match Ctree.Validate.check ck_tree with
+        | [] ->
+          Ok
+            { ck_step; ck_tree; ck_buf; ck_polarity; ck_repair = !repair;
+              ck_metas = List.rev !metas }
+        | errs -> Error ("invalid tree: " ^ String.concat "; " errs))
+    with
+    | Parse m -> Error m
+    | Invalid_argument m -> Error m
+
+  let load ~tech file =
+    match Persist.read_checked file with
+    | Error e -> Error e
+    | Ok text -> (
+      match of_string ~tech text with
+      | Ok l -> Ok l
+      | Error e -> Error (file ^ ": " ^ e))
+
+  (* Latest verified checkpoint in [dir]: later stages first, silently
+     skipping missing, torn or corrupt files — a corrupt BWSN snapshot
+     degrades the resume to the TWSN one instead of failing it. *)
+  let load_latest ~tech ~dir =
+    List.fold_left
+      (fun acc step ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          let file = path ~dir step in
+          if not (Sys.file_exists file) then None
+          else
+            match load ~tech file with Ok l -> Some l | Error _ -> None))
+      None
+      [ Bwsn; Twsn; Twsz; Tbsz; Initial ]
+end
+
+(* Stage-local invariant failure: [Validate.check] found structural
+   damage after a stage body ran. Caught by the retry machinery. *)
+exception Invariant_violation of string list
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation errs ->
+      Some
+        (Printf.sprintf "Invariant_violation(%s)" (String.concat "; " errs))
+    | _ -> None)
+
+let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
+    ?(resume = false) ~tech ~source ?(obstacles = []) sinks =
   let t0 = Monoclock.now () in
   let runs0 = Evaluator.eval_count () in
   let kc0 = Analysis.Transient.counters () in
   let att0 = Ivc.attempts () and acc0 = Ivc.accepts () in
-  let tree, chosen_buf, polarity, repair =
-    initial_tree ~config ~tech ~source ~obstacles sinks
+  let base_config = config in
+  let loaded =
+    if resume then
+      Option.bind checkpoint_dir (fun dir ->
+          Checkpoint.load_latest ~tech ~dir)
+    else None
   in
+  let tree0, chosen_buf, polarity, repair, resumed_metas, completed_rank =
+    match loaded with
+    | Some l ->
+      (l.Checkpoint.ck_tree, l.ck_buf, l.ck_polarity, l.ck_repair,
+       l.ck_metas, rank l.ck_step)
+    | None ->
+      let tree, buf, pol, rep =
+        initial_tree ~config ~tech ~source ~obstacles sinks
+      in
+      (tree, buf, pol, rep, [], -1)
+  in
+  let tree = ref tree0 in
+  let metas = ref resumed_metas in
+  let incidents = ref [] in
+  let baseline : Evaluator.t option ref = ref None in
+  (* Fault injection (tests and drills): armed once the INITIAL
+     evaluation is recorded, the next [inject_numerical_failures]
+     evaluations — through any lane's hooks — raise instead of
+     returning, exercising the same recovery path a real numerical
+     blow-up takes. *)
+  let inject_left = Atomic.make base_config.Config.inject_numerical_failures in
+  let inject_armed = ref false in
+  let wrap_hooks hooks =
+    if base_config.Config.inject_numerical_failures = 0 then hooks
+    else
+      { Speculate.eval =
+          (fun ?edits t ->
+            if !inject_armed && Atomic.get inject_left > 0 then
+              if Atomic.fetch_and_add inject_left (-1) > 0 then
+                Analysis.Numerics.fail "injected numerical failure";
+            hooks.Speculate.eval ?edits t);
+        note = hooks.Speculate.note }
+  in
+  (* The degraded-mode ladder: attempt 0 is the caller's configuration;
+     attempt 1 turns speculation serial and pins the transient kernel to
+     the fixed-rate reference march; attempt 2 additionally halves the
+     timestep and drops the incremental session (plain from-scratch
+     evaluations). Later attempts (when [max_stage_retries] is raised)
+     stay at the most conservative rung. *)
+  let degraded_config k =
+    if k = 0 then base_config
+    else begin
+      let c =
+        { base_config with
+          Config.speculation =
+            (if base_config.Config.speculation < 0 then -1 else 1);
+          transient_mode = Analysis.Transient.Fixed }
+      in
+      if k = 1 then c
+      else
+        { c with
+          Config.transient_step = base_config.Config.transient_step /. 2.;
+          incremental = false }
+    end
+  in
+  let session = ref None in
+  let main_hooks = ref (plain_hooks base_config) in
+  let cfg = ref base_config in
+  let last_hits = ref 0 and last_misses = ref 0 in
   (* One incremental session drives every CNE of the optimization steps
      (unless disabled): the session survives IVC attempt/rollback cycles,
      so stages untouched by a rejected or localised move are answered from
      cache. [refresh ~tree] rebinds because Buffer_slide.respace returns a
-     rebuilt tree. *)
-  let session =
-    if config.Config.incremental then
-      Some
-        (Evaluator.Incremental.create ~engine:config.Config.engine
-           ~seg_len:config.Config.seg_len
-           ~transient_step:config.Config.transient_step
-           ~transient_mode:config.Config.transient_mode tree)
-    else None
+     rebuilt tree. On a stage retry the session is rebuilt from scratch
+     over the restored tree — its caches are content-addressed, so a
+     rebuild costs misses, never correctness. *)
+  let rebuild ~degraded =
+    let c = degraded_config degraded in
+    session :=
+      (if c.Config.incremental then
+         Some
+           (Evaluator.Incremental.create ~engine:c.Config.engine
+              ~seg_len:c.Config.seg_len
+              ~transient_step:c.Config.transient_step
+              ~transient_mode:c.Config.transient_mode !tree)
+       else None);
+    let hooks =
+      match !session with
+      | Some s -> session_hooks s
+      | None -> plain_hooks c
+    in
+    let hooks = wrap_hooks hooks in
+    main_hooks := hooks;
+    last_hits := 0;
+    last_misses := 0;
+    cfg := { c with Config.evaluator = Some hooks; spec = None }
   in
-  let main_hooks =
-    match session with
-    | Some s -> session_hooks s
-    | None -> plain_hooks config
+  rebuild ~degraded:0;
+  let evaluate t = Ivc.evaluate !cfg t in
+  let ensure_baseline () =
+    match !baseline with
+    | Some ev -> ev
+    | None ->
+      let ev = evaluate !tree in
+      baseline := Some ev;
+      ev
   in
-  let config = { config with Config.evaluator = Some main_hooks } in
-  let evaluate t = Ivc.evaluate config t in
+  (* Speculation context over the flow's main tree: [width - 1] replica
+     lanes, each with its own incremental session ([~parallel:false] —
+     the lanes themselves run on the domain pool). [speculation = -1]
+     keeps the legacy copy-based attempts and installs no context. *)
+  let install_spec () =
+    if !cfg.Config.speculation >= 0 then begin
+      let c = !cfg in
+      let slot_hooks replica =
+        wrap_hooks
+          (if c.Config.incremental then
+             session_hooks
+               (Evaluator.Incremental.create ~engine:c.Config.engine
+                  ~seg_len:c.Config.seg_len ~parallel:false
+                  ~transient_step:c.Config.transient_step
+                  ~transient_mode:c.Config.transient_mode replica)
+           else plain_hooks c)
+      in
+      let spec =
+        Speculate.create ~width:(Config.speculation_width c) ~main:!tree
+          ~main_hooks:!main_hooks ~slot_hooks ()
+      in
+      cfg := { !cfg with Config.spec = Some spec }
+    end
+  in
   let trace = ref [] in
   let last_t = ref (Monoclock.now ()) in
   (* Every counter in a trace entry is a per-step delta against the value
@@ -115,13 +510,12 @@ let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
      session totals while the kernel counters were deltas — mixed
      semantics that made the streamed telemetry inconsistent). [eval_runs]
      and [seconds] stay cumulative, as documented. *)
-  let last_hits = ref 0 and last_misses = ref 0 in
   let last_kc = ref kc0 in
   let last_att = ref att0 and last_acc = ref acc0 in
   let record step (ev : Evaluator.t) =
     let now = Monoclock.now () in
     let hits, misses =
-      match session with
+      match !session with
       | Some s ->
         let st = Evaluator.Incremental.stats s in
         (st.Evaluator.hits, st.Evaluator.misses)
@@ -161,101 +555,213 @@ let run ?(config = Config.default) ?on_step ~tech ~source ?(obstacles = [])
     last_acc := Ivc.accepts ();
     match on_step with Some f -> f entry | None -> ()
   in
-  (* Elmore-driven pre-balance (§III-A: simple analytical models first):
-     the buffered tree out of the quantised DP can carry large path-delay
-     imbalance at scale; Elmore evaluations are near-free, so a snaking
-     equalisation under the Elmore engine recovers the bulk before any
-     accurate run is spent — no session here, it runs a different engine. *)
-  if config.Config.elmore_prebalance then begin
-    let pre_config =
-      { config with
-        Config.engine = Analysis.Evaluator.Elmore_model;
-        max_rounds = 30;
-        evaluator = None }
+  let incident step attempt error action =
+    let inc =
+      { inc_step = step; inc_attempt = attempt; inc_error = error;
+        inc_action = action }
     in
-    let pre_eval =
-      Evaluator.evaluate ~engine:Analysis.Evaluator.Elmore_model
-        ~seg_len:config.Config.seg_len tree
+    incidents := inc :: !incidents;
+    match on_incident with Some f -> f inc | None -> ()
+  in
+  (* Synthetic trace entries for the stages a resumed run skips: the
+     metrics come from the checkpoint, the per-step counters are zero
+     (no work was repeated). *)
+  List.iter
+    (fun m ->
+      let now = Monoclock.now () in
+      let entry =
+        { step = m.m_step; skew = m.m_skew; clr = m.m_clr;
+          t_max = m.m_t_max; eval_runs = Evaluator.eval_count () - runs0;
+          seconds = now -. t0; cache_hits = 0; cache_misses = 0;
+          step_seconds = 0.; kernel_solves = 0; kernel_saved = 0;
+          kernel_truncations = 0; attempts = 0; accepts = 0 }
+      in
+      trace := entry :: !trace;
+      last_t := now;
+      match on_step with Some f -> f entry | None -> ())
+    resumed_metas;
+  (* Run one stage under the retry umbrella: snapshot the tree, run the
+     body, check structural invariants, record the step and (when
+     verified) checkpoint it. Any failure except a cooperative deadline
+     rolls the tree back to the snapshot, rebuilds the evaluation
+     machinery one rung down the degraded ladder and retries; after a
+     degraded attempt succeeds the normal configuration is restored for
+     the following stages. *)
+  let run_stage step body =
+    let max_retries = base_config.Config.max_stage_retries in
+    let rec attempt k =
+      let entry_snapshot = Tree.copy !tree in
+      match
+        let ev = body () in
+        (match Ctree.Validate.check !tree with
+        | [] -> ()
+        | errs -> raise (Invariant_violation errs));
+        ev
+      with
+      | ev ->
+        record step ev;
+        let meta =
+          { m_step = step; m_skew = ev.Evaluator.skew;
+            m_clr = ev.Evaluator.clr; m_t_max = ev.Evaluator.t_max;
+            m_slew_waived = ev.Evaluator.slew_violations > 0;
+            m_cap_waived = not ev.Evaluator.cap_ok }
+        in
+        metas := !metas @ [ meta ];
+        (match checkpoint_dir with
+        | None -> ()
+        | Some dir ->
+          (* Structural invariants already passed above; the electrical
+             gate refuses to persist a state whose headline numbers are
+             not finite (a truncated march's [infinity] latency is not a
+             verified state). Slew/cap violations do not block — they
+             are recorded as waived in the stage meta. *)
+          if
+            Float.is_finite ev.Evaluator.skew
+            && Float.is_finite ev.Evaluator.clr
+            && Float.is_finite ev.Evaluator.t_max
+          then (
+            try
+              Checkpoint.save ~dir ~step ~tree:!tree ~buf:chosen_buf
+                ~polarity ~repair ~metas:!metas
+            with e ->
+              (* An unwritable checkpoint must not fail (or retry) an
+                 otherwise successful stage — the run just loses this
+                 resume point. *)
+              incident step k (Printexc.to_string e) "checkpoint-skipped")
+          else
+            incident step k "non-finite skew/CLR/latency"
+              "checkpoint-skipped");
+        if k > 0 then begin
+          (* Recovered in degraded mode: restore the caller's
+             configuration for the remaining stages and force the next
+             baseline to be re-evaluated under it. *)
+          rebuild ~degraded:0;
+          if rank step >= rank Tbsz then install_spec ();
+          baseline := None
+        end;
+        ev
+      | exception Ivc.Deadline_exceeded ->
+        incident step k "deadline exceeded" "deadline";
+        raise Ivc.Deadline_exceeded
+      | exception e when k < max_retries ->
+        incident step k (Printexc.to_string e) "retry-degraded";
+        tree := entry_snapshot;
+        rebuild ~degraded:(k + 1);
+        if rank step > rank Tbsz then install_spec ();
+        baseline := None;
+        attempt (k + 1)
+      | exception e ->
+        incident step k (Printexc.to_string e) "gave-up";
+        raise e
     in
-    ignore (Wiresnaking.run pre_config tree ~baseline:pre_eval)
-  end;
-  let initial_eval = evaluate tree in
-  record Initial initial_eval;
-  (* TBSZ: slide/interleave the trunk chain, then iterative sizing. *)
-  let ceiling =
-    Float.min
-      (Route.Slewcap.lumped ~tech ~buf:chosen_buf ())
-      (Route.Slewcap.wire_aware ~tech ~buf:chosen_buf ())
+    attempt 0
   in
-  let slid, _slide_report = Buffer_slide.respace tree ~ceiling in
-  let tree, eval =
-    let ev = evaluate slid in
-    (* Keep the slid tree only if it did not break anything (IVC). *)
-    if
-      ev.Evaluator.slew_violations <= initial_eval.Evaluator.slew_violations
-      && ev.Evaluator.cap_ok
-    then (slid, ev)
-    else (tree, initial_eval)
+  let do_stage step body =
+    if rank step > completed_rank then ignore (run_stage step body)
   in
-  (* The tree identity is now final for the rest of the flow, so the
-     speculation context can be built over it: [width - 1] replica lanes,
-     each with its own incremental session ([~parallel:false] — the lanes
-     themselves run on the domain pool). [speculation = -1] keeps the
-     legacy copy-based attempts and installs no context. *)
-  let config =
-    if config.Config.speculation < 0 then config
-    else begin
-      let slot_hooks replica =
-        if config.Config.incremental then
-          session_hooks
-            (Evaluator.Incremental.create ~engine:config.Config.engine
-               ~seg_len:config.Config.seg_len ~parallel:false
-               ~transient_step:config.Config.transient_step
-               ~transient_mode:config.Config.transient_mode replica)
-        else plain_hooks config
+  if completed_rank >= rank Tbsz then install_spec ();
+  do_stage Initial (fun () ->
+      (* Elmore-driven pre-balance (§III-A: simple analytical models
+         first): the buffered tree out of the quantised DP can carry
+         large path-delay imbalance at scale; Elmore evaluations are
+         near-free, so a snaking equalisation under the Elmore engine
+         recovers the bulk before any accurate run is spent — no session
+         here, it runs a different engine. *)
+      if !cfg.Config.elmore_prebalance then begin
+        let pre_config =
+          { !cfg with
+            Config.engine = Analysis.Evaluator.Elmore_model;
+            max_rounds = 30;
+            evaluator = None;
+            spec = None }
+        in
+        let pre_eval =
+          Evaluator.evaluate ~engine:Analysis.Evaluator.Elmore_model
+            ~seg_len:!cfg.Config.seg_len !tree
+        in
+        ignore (Wiresnaking.run pre_config !tree ~baseline:pre_eval)
+      end;
+      let ev = evaluate !tree in
+      baseline := Some ev;
+      ev);
+  inject_armed := true;
+  do_stage Tbsz (fun () ->
+      (* TBSZ: slide/interleave the trunk chain, then iterative sizing. *)
+      let base_ev = ensure_baseline () in
+      let ceiling =
+        Float.min
+          (Route.Slewcap.lumped ~tech ~buf:chosen_buf ())
+          (Route.Slewcap.wire_aware ~tech ~buf:chosen_buf ())
       in
-      let spec =
-        Speculate.create ~width:(Config.speculation_width config) ~main:tree
-          ~main_hooks ~slot_hooks ()
+      let slid, _slide_report = Buffer_slide.respace !tree ~ceiling in
+      let ev = evaluate slid in
+      (* Keep the slid tree only if it did not break anything (IVC). *)
+      let accepted, acc_ev =
+        if
+          ev.Evaluator.slew_violations <= base_ev.Evaluator.slew_violations
+          && ev.Evaluator.cap_ok
+        then (slid, ev)
+        else (!tree, base_ev)
       in
-      { config with Config.spec = Some spec }
-    end
-  in
-  let sized = Buffer_sizing.run config tree ~baseline:eval in
-  (* Speed-up before slow-down (§III-B): strengthen drivers of critical
-     subtrees so less slack has to be burned by the wire steps. *)
-  let sped, _ = Buffer_sizing.speedup config tree ~baseline:sized.Buffer_sizing.eval in
-  record Tbsz sped;
-  (* TWSZ *)
-  let wsz = Wiresizing.run config tree ~baseline:sped in
-  record Twsz wsz.Wiresizing.eval;
-  (* TWSN *)
-  let wsn = Wiresnaking.run config tree ~baseline:wsz.Wiresizing.eval in
-  record Twsn wsn.Wiresnaking.eval;
-  (* BWSN *)
-  let bl = Bottomlevel.run config tree ~baseline:wsn.Wiresnaking.eval in
-  (* "Further optimization is possible … at the cost of increased runtime"
-     (§I): when skew is still above the negligible band, run the wire
-     sequence once more — larger instances sometimes converge in two
-     passes. *)
+      tree := accepted;
+      (* The tree identity is now final for the rest of the flow, so the
+         speculation context can be built over it. *)
+      install_spec ();
+      let sized = Buffer_sizing.run !cfg !tree ~baseline:acc_ev in
+      (* Speed-up before slow-down (§III-B): strengthen drivers of
+         critical subtrees so less slack has to be burned by the wire
+         steps. *)
+      let sped, _ =
+        Buffer_sizing.speedup !cfg !tree ~baseline:sized.Buffer_sizing.eval
+      in
+      baseline := Some sped;
+      sped);
+  do_stage Twsz (fun () ->
+      let wsz = Wiresizing.run !cfg !tree ~baseline:(ensure_baseline ()) in
+      baseline := Some wsz.Wiresizing.eval;
+      wsz.Wiresizing.eval);
+  do_stage Twsn (fun () ->
+      let wsn = Wiresnaking.run !cfg !tree ~baseline:(ensure_baseline ()) in
+      baseline := Some wsn.Wiresnaking.eval;
+      wsn.Wiresnaking.eval);
   let final_eval =
-    if bl.Bottomlevel.eval.Evaluator.skew > config.Config.second_pass_skew_ps
-    then begin
-      let wsz2 = Wiresizing.run config tree ~baseline:bl.Bottomlevel.eval in
-      let wsn2 = Wiresnaking.run config tree ~baseline:wsz2.Wiresizing.eval in
-      let bl2 = Bottomlevel.run config tree ~baseline:wsn2.Wiresnaking.eval in
-      bl2.Bottomlevel.eval
-    end
-    else bl.Bottomlevel.eval
+    if rank Bwsn <= completed_rank then ensure_baseline ()
+    else
+      run_stage Bwsn (fun () ->
+          let bl = Bottomlevel.run !cfg !tree ~baseline:(ensure_baseline ()) in
+          (* "Further optimization is possible … at the cost of increased
+             runtime" (§I): when skew is still above the negligible band,
+             run the wire sequence once more — larger instances sometimes
+             converge in two passes. *)
+          let ev =
+            if
+              bl.Bottomlevel.eval.Evaluator.skew
+              > !cfg.Config.second_pass_skew_ps
+            then begin
+              let wsz2 =
+                Wiresizing.run !cfg !tree ~baseline:bl.Bottomlevel.eval
+              in
+              let wsn2 =
+                Wiresnaking.run !cfg !tree ~baseline:wsz2.Wiresizing.eval
+              in
+              let bl2 =
+                Bottomlevel.run !cfg !tree ~baseline:wsn2.Wiresnaking.eval
+              in
+              bl2.Bottomlevel.eval
+            end
+            else bl.Bottomlevel.eval
+          in
+          baseline := Some ev;
+          ev)
   in
-  record Bwsn final_eval;
   {
-    tree;
+    tree = !tree;
     trace = List.rev !trace;
     final = final_eval;
     chosen_buf;
     polarity;
     repair;
+    incidents = List.rev !incidents;
     eval_runs = Evaluator.eval_count () - runs0;
     seconds = Monoclock.now () -. t0;
   }

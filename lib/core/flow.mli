@@ -7,11 +7,23 @@
     wiresnaking (TWSN) → bottom-level fine-tuning (BWSN).
 
     Every optimization is wrapped in Improvement- & Violation-Checking;
-    the per-step trace is the data behind the paper's Table III. *)
+    the per-step trace is the data behind the paper's Table III.
+
+    Each stage additionally runs under a retry umbrella: on an exception,
+    a {!Analysis.Numerics.Numerical_failure} or a structural invariant
+    violation, the tree is rolled back to the stage entry state and the
+    stage re-runs in degraded mode (serial speculation and the fixed-rate
+    transient reference march, then additionally a halved timestep with
+    plain from-scratch evaluations), up to {!Config.t.max_stage_retries}
+    times. Completed stages can be persisted as verified checkpoints and
+    resumed after a crash. *)
 
 type step = Initial | Tbsz | Twsz | Twsn | Bwsn
 
 val step_name : step -> string
+
+(** Inverse of {!step_name}; [None] for unknown names. *)
+val step_of_name : string -> step option
 
 type trace_entry = {
   step : step;
@@ -47,6 +59,32 @@ type trace_entry = {
   accepts : int;  (** accepted candidates during this step *)
 }
 
+(** A structured stage-failure record. [inc_action] is one of
+    ["retry-degraded"] (the stage re-runs one rung down the degraded
+    ladder), ["gave-up"] (retries exhausted; the failure propagates),
+    ["deadline"] (cooperative deadline — never retried) or
+    ["checkpoint-skipped"] (the stage succeeded but its state was not
+    persisted: non-finite headline metrics or an I/O failure). *)
+type incident = {
+  inc_step : step;
+  inc_attempt : int;  (** 0 = first attempt, 1.. = degraded retries *)
+  inc_error : string;
+  inc_action : string;
+}
+
+(** Per-stage metrics persisted in checkpoints; [m_slew_waived] /
+    [m_cap_waived] record that the stage was checkpointed despite
+    slew/cap violations (they never block a checkpoint — non-finite
+    metrics do). *)
+type stage_meta = {
+  m_step : step;
+  m_skew : float;
+  m_clr : float;
+  m_t_max : float;
+  m_slew_waived : bool;
+  m_cap_waived : bool;
+}
+
 type result = {
   tree : Ctree.Tree.t;
   trace : trace_entry list;      (** one entry per step, in flow order *)
@@ -54,9 +92,44 @@ type result = {
   chosen_buf : Tech.Composite.t;
   polarity : Polarity.report;
   repair : Route.Repair.report option;  (** present when obstacles given *)
+  incidents : incident list;     (** stage failures, in occurrence order *)
   eval_runs : int;               (** total evaluation runs consumed *)
   seconds : float;
 }
+
+(** Verified on-disk flow checkpoints: one [<STEP>.ckpt] per completed
+    stage, written atomically with a checksum trailer
+    ({!Persist.write_atomic_checked}), containing the flow metadata
+    (chosen composite, polarity/repair reports, per-stage metrics) and
+    the canonical tree text ({!Ctree.Tree.to_string}). *)
+module Checkpoint : sig
+  type loaded = {
+    ck_step : step;
+    ck_tree : Ctree.Tree.t;
+    ck_buf : Tech.Composite.t;
+    ck_polarity : Polarity.report;
+    ck_repair : Route.Repair.report option;
+    ck_metas : stage_meta list;  (** in flow order, [ck_step] last *)
+  }
+
+  (** [<dir>/<STEP>.ckpt]. *)
+  val path : dir:string -> step -> string
+
+  (** Atomically persist a stage checkpoint (creates [dir] as needed). *)
+  val save :
+    dir:string -> step:step -> tree:Ctree.Tree.t ->
+    buf:Tech.Composite.t -> polarity:Polarity.report ->
+    repair:Route.Repair.report option -> metas:stage_meta list -> unit
+
+  (** Read and verify one checkpoint file: checksum, format, tree parse
+      and {!Ctree.Validate.check} all gate the result. Never raises. *)
+  val load : tech:Tech.t -> string -> (loaded, string) Stdlib.result
+
+  (** Latest loadable checkpoint in [dir] (BWSN first, INITIAL last);
+      missing, torn or corrupt files are skipped, so a damaged late
+      checkpoint degrades the resume rather than failing it. *)
+  val load_latest : tech:Tech.t -> dir:string -> loaded option
+end
 
 (** Run the whole methodology. [obstacles] defaults to none.
 
@@ -66,12 +139,26 @@ type result = {
     later crashes or times out has still reported every completed step.
     An exception raised by [on_step] aborts the run and propagates.
 
+    [on_incident] is invoked with each {!incident} as it is recorded
+    (including ones whose failure ultimately propagates).
+
+    [checkpoint_dir] enables verified per-stage checkpoints. With
+    [resume] also set, the run first loads the latest checkpoint from
+    [checkpoint_dir] and skips every completed stage (replaying their
+    trace entries through [on_step] with zeroed per-step counters);
+    because evaluations are content-derived, an interrupted run resumed
+    this way converges to a final tree bit-identical to the
+    uninterrupted one. With [resume] and no loadable checkpoint the run
+    starts from scratch.
+
     @raise Ivc.Deadline_exceeded between evaluations once
-    [config.deadline] has passed. *)
+    [config.deadline] has passed (recorded as an incident first, never
+    retried). *)
 val run :
-  ?config:Config.t -> ?on_step:(trace_entry -> unit) -> tech:Tech.t ->
-  source:Geometry.Point.t -> ?obstacles:Geometry.Rect.t list ->
-  Dme.Zst.sink_spec array -> result
+  ?config:Config.t -> ?on_step:(trace_entry -> unit) ->
+  ?on_incident:(incident -> unit) -> ?checkpoint_dir:string ->
+  ?resume:bool -> tech:Tech.t -> source:Geometry.Point.t ->
+  ?obstacles:Geometry.Rect.t list -> Dme.Zst.sink_spec array -> result
 
 (** Stages before any optimization — ZST, repair, insertion, polarity —
     exposed so baselines and experiments can start from the same initial

@@ -1,0 +1,68 @@
+(* Crash-safe file I/O: write to a temp file in the target directory,
+   fsync, then rename over the destination. POSIX rename is atomic within
+   a filesystem, so readers only ever observe the old content or the
+   complete new content — never a torn write. The checksummed variants
+   add a trailing FNV-1a line so a reader can also reject snapshots from
+   a crashed-then-restarted writer whose rename did land but whose
+   content was produced from corrupted in-memory state. *)
+
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_atomic path content =
+  let dir = Filename.dirname path in
+  mkdir_p dir;
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir:dir
+      ("." ^ Filename.basename path ^ ".")
+      ".tmp"
+  in
+  (try
+     output_string oc content;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+(* The trailer is fixed-width ("#fnv1a " + 16 hex digits + \n = 24
+   bytes) so [read_checked] can strip it without parsing the payload. *)
+let trailer content = Printf.sprintf "#fnv1a %016Lx\n" (fnv1a content)
+
+let write_atomic_checked path content =
+  write_atomic path (content ^ trailer content)
+
+let read_checked path =
+  match
+    In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+  with
+  | exception Sys_error e -> Error e
+  | raw ->
+    let n = String.length raw in
+    if n < 24 then Error (path ^ ": too short for a checksum trailer")
+    else begin
+      let content = String.sub raw 0 (n - 24) in
+      let tr = String.sub raw (n - 24) 24 in
+      if tr = trailer content then Ok content
+      else Error (path ^ ": checksum mismatch")
+    end

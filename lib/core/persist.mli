@@ -1,0 +1,23 @@
+(** Crash-safe file I/O: atomic tmp + rename writes, with an optional
+    FNV-1a checksum trailer for verified snapshots. Readers never see a
+    torn file — only the old content or the complete new content. *)
+
+(** 64-bit FNV-1a hash of a string. *)
+val fnv1a : string -> int64
+
+(** [mkdir_p dir] creates [dir] and its missing ancestors. *)
+val mkdir_p : string -> unit
+
+(** Write [content] to a temp file in [path]'s directory, fsync, and
+    atomically rename it over [path] (creating directories as needed).
+    On failure the temp file is removed and the old [path] is intact. *)
+val write_atomic : string -> string -> unit
+
+(** {!write_atomic} with a fixed-width ["#fnv1a %016Lx\n"] trailer
+    appended, for {!read_checked}. *)
+val write_atomic_checked : string -> string -> unit
+
+(** Read a file written by {!write_atomic_checked}; verifies and strips
+    the trailer. [Error] on I/O failure, missing trailer or checksum
+    mismatch — never raises. *)
+val read_checked : string -> (string, string) result

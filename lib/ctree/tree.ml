@@ -480,6 +480,295 @@ let digest t =
   done;
   !h
 
+(* ------------------------------------------------------------------ *)
+(* Canonical text serialization.
+
+   Line-oriented and order-canonical: node lines in id order, then the
+   non-empty children lists (children ORDER matters — [digest] hashes it),
+   then the explicit route polylines. Floats are emitted as hex literals
+   ([%h]) so a round-trip is bit-exact; labels and device names are
+   percent-escaped so the format stays strictly space-separated. The
+   technology is shared, never serialized (like [copy]): [of_string]
+   takes the tech and resolves buffer devices by name against its
+   library, falling back to reconstructing the device from the recorded
+   electricals when the library changed underneath the snapshot. *)
+
+let escape_token s =
+  if s = "" then "%empty%"
+  else begin
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '~' ->
+          Buffer.add_char buf c
+        | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+      s;
+    Buffer.contents buf
+  end
+
+let bend_token = function Segment.L.XY -> "XY" | Segment.L.YX -> "YX"
+
+let to_string t =
+  let buf = Buffer.create (128 * t.n) in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "ctree 1\n";
+  pf "n %d\n" t.n;
+  for i = 0 to t.n - 1 do
+    let nd = t.nodes.(i) in
+    pf "node %d %d %d %d %d %d %d %s" i nd.pos.Point.x nd.pos.Point.y
+      nd.parent nd.wire_class nd.geom_len nd.snake (bend_token nd.bend);
+    match nd.kind with
+    | Source -> pf " S\n"
+    | Internal -> pf " I\n"
+    | Buffer b ->
+      let d = b.Tech.Composite.base in
+      pf " B %d %s %h %h %h %h %h %h %d\n" b.Tech.Composite.count
+        (escape_token d.Tech.Device.name)
+        d.Tech.Device.c_in d.Tech.Device.c_out d.Tech.Device.r_up
+        d.Tech.Device.r_down d.Tech.Device.d_intrinsic
+        d.Tech.Device.slew_coeff
+        (if d.Tech.Device.inverting then 1 else 0)
+    | Sink s -> pf " K %d %h %s\n" s.parity s.cap (escape_token s.label)
+  done;
+  for i = 0 to t.n - 1 do
+    let nd = t.nodes.(i) in
+    if nd.children <> [] then begin
+      pf "children %d" i;
+      List.iter (fun c -> pf " %d" c) nd.children;
+      pf "\n"
+    end
+  done;
+  for i = 0 to t.n - 1 do
+    let nd = t.nodes.(i) in
+    if nd.route <> [] then begin
+      pf "route %d" i;
+      List.iter (fun p -> pf " %d %d" p.Point.x p.Point.y) nd.route;
+      pf "\n"
+    end
+  done;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string ~tech text =
+  let failf lineno fmt =
+    Printf.ksprintf
+      (fun m -> raise (Parse_error (Printf.sprintf "line %d: %s" lineno m)))
+      fmt
+  in
+  let int_ lineno s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> failf lineno "not an integer: %S" s
+  in
+  let float_ lineno s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> failf lineno "not a number: %S" s
+  in
+  let unescape lineno s =
+    if s = "%empty%" then ""
+    else begin
+      let buf = Buffer.create (String.length s) in
+      let n = String.length s in
+      let i = ref 0 in
+      while !i < n do
+        if s.[!i] = '%' then begin
+          if !i + 2 >= n then failf lineno "truncated escape in %S" s;
+          (match int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2) with
+          | Some code when code >= 0 && code < 256 ->
+            Buffer.add_char buf (Char.chr code)
+          | _ -> failf lineno "bad escape in %S" s);
+          i := !i + 3
+        end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents buf
+    end
+  in
+  let resolve_device lineno ~name ~c_in ~c_out ~r_up ~r_down ~d_intrinsic
+      ~slew_coeff ~inverting =
+    if
+      Float.is_nan c_in || Float.is_nan c_out || Float.is_nan r_up
+      || Float.is_nan r_down || Float.is_nan d_intrinsic
+      || Float.is_nan slew_coeff
+    then failf lineno "non-finite device electricals for %S" name;
+    let matches (d : Tech.Device.t) =
+      d.Tech.Device.name = name
+      && d.Tech.Device.c_in = c_in
+      && d.Tech.Device.c_out = c_out
+      && d.Tech.Device.r_up = r_up
+      && d.Tech.Device.r_down = r_down
+      && d.Tech.Device.d_intrinsic = d_intrinsic
+      && d.Tech.Device.slew_coeff = slew_coeff
+      && d.Tech.Device.inverting = inverting
+    in
+    match List.find_opt matches tech.Tech.devices with
+    | Some d -> d
+    | None ->
+      Tech.Device.make ~name ~c_in ~c_out ~r_up ~r_down ~d_intrinsic
+        ~slew_coeff ~inverting ()
+  in
+  try
+    let header = ref false in
+    let n = ref (-1) in
+    let nodes = ref [||] in
+    let get_slot lineno id =
+      if !n < 0 then failf lineno "directive before the n line";
+      if id < 0 || id >= !n then failf lineno "node id %d out of range" id;
+      id
+    in
+    let defined lineno id =
+      match !nodes.(get_slot lineno id) with
+      | Some nd -> nd
+      | None -> failf lineno "node %d not defined yet" id
+    in
+    List.iteri
+      (fun idx line ->
+        let lineno = idx + 1 in
+        let line =
+          let l = String.length line in
+          if l > 0 && line.[l - 1] = '\r' then String.sub line 0 (l - 1)
+          else line
+        in
+        let tokens =
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        in
+        match tokens with
+        | [] -> ()
+        | "ctree" :: rest ->
+          if !header then failf lineno "duplicate header";
+          (match rest with
+          | [ "1" ] -> header := true
+          | _ -> failf lineno "unsupported ctree version")
+        | [ "n"; c ] ->
+          if not !header then failf lineno "n before the ctree header";
+          if !n >= 0 then failf lineno "duplicate n line";
+          let c = int_ lineno c in
+          if c < 1 then failf lineno "node count %d < 1" c;
+          n := c;
+          nodes := Array.make c None
+        | "node" :: id :: x :: y :: parent :: wc :: geom :: snake :: bend
+          :: kind ->
+          let id = get_slot lineno (int_ lineno id) in
+          if !nodes.(id) <> None then failf lineno "duplicate node %d" id;
+          let bend =
+            match bend with
+            | "XY" -> Segment.L.XY
+            | "YX" -> Segment.L.YX
+            | b -> failf lineno "unknown bend %S" b
+          in
+          let kind =
+            match kind with
+            | [ "S" ] -> Source
+            | [ "I" ] -> Internal
+            | [ "B"; count; name; cin; cout; rup; rdown; dint; slew; inv ]
+              ->
+              let count = int_ lineno count in
+              if count < 1 then failf lineno "buffer count %d < 1" count;
+              let inverting =
+                match inv with
+                | "1" -> true
+                | "0" -> false
+                | s -> failf lineno "bad inverting flag %S" s
+              in
+              let dev =
+                resolve_device lineno ~name:(unescape lineno name)
+                  ~c_in:(float_ lineno cin) ~c_out:(float_ lineno cout)
+                  ~r_up:(float_ lineno rup) ~r_down:(float_ lineno rdown)
+                  ~d_intrinsic:(float_ lineno dint)
+                  ~slew_coeff:(float_ lineno slew) ~inverting
+              in
+              Buffer (Tech.Composite.make dev count)
+            | [ "K"; parity; cap; label ] ->
+              Sink
+                { cap = float_ lineno cap; parity = int_ lineno parity;
+                  label = unescape lineno label }
+            | _ -> failf lineno "malformed node kind"
+          in
+          !nodes.(id) <-
+            Some
+              { id; kind; pos = Point.make (int_ lineno x) (int_ lineno y);
+                parent = int_ lineno parent;
+                children = []; wire_class = int_ lineno wc;
+                geom_len = int_ lineno geom; snake = int_ lineno snake;
+                bend; route = [] }
+        | "children" :: id :: (_ :: _ as rest) ->
+          let nd = defined lineno (int_ lineno id) in
+          if nd.children <> [] then
+            failf lineno "duplicate children line for node %d" nd.id;
+          nd.children <- List.map (fun c -> int_ lineno c) rest
+        | "route" :: id :: (_ :: _ as coords) ->
+          let nd = defined lineno (int_ lineno id) in
+          if nd.route <> [] then
+            failf lineno "duplicate route line for node %d" nd.id;
+          let rec pairs = function
+            | [] -> []
+            | [ _ ] -> failf lineno "odd coordinate count in route"
+            | x :: y :: rest ->
+              Point.make (int_ lineno x) (int_ lineno y) :: pairs rest
+          in
+          let pts = pairs coords in
+          if List.length pts < 2 then
+            failf lineno "route needs at least two points";
+          nd.route <- pts
+        | d :: _ -> failf lineno "unknown directive %S" d)
+      (String.split_on_char '\n' text);
+    if not !header then raise (Parse_error "missing ctree header");
+    if !n < 0 then raise (Parse_error "missing n line");
+    let arr =
+      Array.mapi
+        (fun i nd ->
+          match nd with
+          | Some nd -> nd
+          | None -> raise (Parse_error (Printf.sprintf "node %d missing" i)))
+        !nodes
+    in
+    let count = !n in
+    let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
+    Array.iteri
+      (fun i nd ->
+        (match nd.kind with
+        | Source ->
+          if i <> 0 then fail "source at non-root node %d" i;
+          if nd.parent <> -1 then fail "root node has parent %d" nd.parent
+        | Internal | Buffer _ | Sink _ ->
+          if i = 0 then fail "root node is not the source");
+        if nd.parent < -1 || nd.parent >= count then
+          fail "node %d has out-of-range parent %d" i nd.parent;
+        if nd.parent = i then fail "node %d is its own parent" i;
+        if nd.wire_class < 0
+           || nd.wire_class >= Array.length tech.Tech.wires
+        then fail "node %d has invalid wire class %d" i nd.wire_class;
+        List.iter
+          (fun c ->
+            if c < 0 || c >= count then
+              fail "node %d has out-of-range child %d" i c
+            else if arr.(c).parent <> i then
+              fail "child %d of node %d has parent %d" c i arr.(c).parent)
+          nd.children)
+      arr;
+    Array.iteri
+      (fun i nd ->
+        if nd.parent >= 0 then begin
+          let occurrences =
+            List.fold_left
+              (fun acc c -> if c = i then acc + 1 else acc)
+              0
+              arr.(nd.parent).children
+          in
+          if occurrences <> 1 then
+            fail "node %d appears %d times in the children of its parent %d"
+              i occurrences nd.parent
+        end)
+      arr;
+    Ok { tech; nodes = arr; n = count; revision = 0; journal = None }
+  with Parse_error m -> Error m
+
 module Journal = struct
   let start tree =
     (match tree.journal with

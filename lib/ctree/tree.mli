@@ -159,6 +159,19 @@ val assign : dst:t -> src:t -> unit
     determinism tests. *)
 val digest : t -> int64
 
+(** Canonical line-oriented text serialization. Floats are hex literals,
+    node/children/route lines are emitted in id order with children order
+    preserved, so [of_string ~tech (to_string t)] rebuilds a tree with
+    the same {!digest}. The technology is shared, never serialized. *)
+val to_string : t -> string
+
+(** Parse {!to_string} output against a technology. Buffer devices are
+    resolved by name (with bit-exact electricals) in [tech]'s library,
+    falling back to reconstructing the recorded device. Never raises:
+    malformed input yields [Error "line N: ..."]. The parsed tree has
+    revision 0 and no journal. *)
+val of_string : tech:Tech.t -> string -> (t, string) result
+
 type journal
 
 (** Undo/redo log for speculative edits (IVC attempt/rollback).

@@ -81,36 +81,38 @@ let of_string ~name text =
           0.
       in
       let inum s = int_of_float (num s) in
-      match tokens with
-      | [] -> ()
-      | [ "chip"; a; b; c; d ] ->
-        p.chip_p <- Some (Rect.make ~lx:(inum a) ~ly:(inum b) ~hx:(inum c) ~hy:(inum d))
-      | [ "source"; x; y ] -> p.source_p <- Some (Point.make (inum x) (inum y))
-      | [ "slewlimit"; s ] -> p.slew_p <- Some (num s)
-      | [ "caplimit"; s ] -> p.cap_p <- Some (num s)
-      | [ "wire"; wname; r; c ] ->
-        p.wires_p <-
-          Tech.Wire.make ~name:wname ~res_per_nm:(num r /. 1000.)
-            ~cap_per_nm:(num c /. 1000.)
-          :: p.wires_p
-      | [ "inverter"; dname; cin; cout; rout; dint ] ->
-        let r = num rout in
-        p.devices_p <-
-          Tech.Device.make ~name:dname ~c_in:(num cin) ~c_out:(num cout)
-            ~r_up:(r *. 1.05) ~r_down:(r *. 0.95) ~d_intrinsic:(num dint)
-            ~inverting:true ()
-          :: p.devices_p
-      | "sink" :: sname :: x :: y :: cap :: rest ->
-        let parity = match rest with [ pa ] -> inum pa | _ -> 0 in
-        p.sinks_p <-
-          { Dme.Zst.label = sname; pos = Point.make (inum x) (inum y);
-            cap = num cap; parity }
-          :: p.sinks_p
-      | [ "obstacle"; a; b; c; d ] ->
-        p.obstacles_p <-
-          Rect.make ~lx:(inum a) ~ly:(inum b) ~hx:(inum c) ~hy:(inum d)
-          :: p.obstacles_p
-      | directive :: _ -> fail lineno ("unknown directive " ^ directive))
+      try
+        match tokens with
+        | [] -> ()
+        | [ "chip"; a; b; c; d ] ->
+          p.chip_p <- Some (Rect.make ~lx:(inum a) ~ly:(inum b) ~hx:(inum c) ~hy:(inum d))
+        | [ "source"; x; y ] -> p.source_p <- Some (Point.make (inum x) (inum y))
+        | [ "slewlimit"; s ] -> p.slew_p <- Some (num s)
+        | [ "caplimit"; s ] -> p.cap_p <- Some (num s)
+        | [ "wire"; wname; r; c ] ->
+          p.wires_p <-
+            Tech.Wire.make ~name:wname ~res_per_nm:(num r /. 1000.)
+              ~cap_per_nm:(num c /. 1000.)
+            :: p.wires_p
+        | [ "inverter"; dname; cin; cout; rout; dint ] ->
+          let r = num rout in
+          p.devices_p <-
+            Tech.Device.make ~name:dname ~c_in:(num cin) ~c_out:(num cout)
+              ~r_up:(r *. 1.05) ~r_down:(r *. 0.95) ~d_intrinsic:(num dint)
+              ~inverting:true ()
+            :: p.devices_p
+        | "sink" :: sname :: x :: y :: cap :: rest ->
+          let parity = match rest with [ pa ] -> inum pa | _ -> 0 in
+          p.sinks_p <-
+            { Dme.Zst.label = sname; pos = Point.make (inum x) (inum y);
+              cap = num cap; parity }
+            :: p.sinks_p
+        | [ "obstacle"; a; b; c; d ] ->
+          p.obstacles_p <-
+            Rect.make ~lx:(inum a) ~ly:(inum b) ~hx:(inum c) ~hy:(inum d)
+            :: p.obstacles_p
+        | directive :: _ -> fail lineno ("unknown directive " ^ directive)
+      with Invalid_argument m -> fail lineno m)
     lines;
   match !error with
   | Some e -> Error e
@@ -132,13 +134,15 @@ let of_string ~name text =
           | [] -> default.Tech.devices
           | ds -> ds
         in
-        let tech =
+        match
           Tech.make ~name ~wires ~devices
             ~slew_limit:(Option.value p.slew_p ~default:default.Tech.slew_limit)
             ~cap_limit:(Option.value p.cap_p ~default:infinity)
             ()
-        in
-        Ok
+        with
+        | exception Invalid_argument m -> Error m
+        | tech ->
+          Ok
           {
             name;
             chip;
@@ -149,20 +153,35 @@ let of_string ~name text =
           }
       end)
 
-let write_file path b =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string b))
+let write_file path b = Core.Persist.write_atomic path (to_string b)
 
 let read_file path =
-  let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let name = Filename.remove_extension (Filename.basename path) in
-  match of_string ~name text with
-  | Ok b -> b
-  | Error e -> failwith (Printf.sprintf "%s: %s" path e)
+  match
+    In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+    let name = Filename.remove_extension (Filename.basename path) in
+    match of_string ~name text with
+    | Ok b -> Ok b
+    | Error e ->
+      (* "path:line: message" so CLI diagnostics point straight at the
+         offending benchmark line (parse errors already start with
+         "line N: ..."). *)
+      let relocated =
+        if String.length e > 5 && String.sub e 0 5 = "line " then
+          match String.index_opt e ':' with
+          | Some colon -> (
+            match int_of_string_opt (String.sub e 5 (colon - 5)) with
+            | Some n ->
+              Some
+                (Printf.sprintf "%s:%d:%s" path n
+                   (String.sub e (colon + 1) (String.length e - colon - 1)))
+            | None -> None)
+          | None -> None
+        else None
+      in
+      Error
+        (match relocated with
+        | Some m -> m
+        | None -> Printf.sprintf "%s: %s" path e))

@@ -27,7 +27,11 @@ type t = {
 val to_string : t -> string
 val of_string : name:string -> string -> (t, string) result
 
+(** Atomic (tmp + rename via {!Core.Persist.write_atomic}): a crash
+    never leaves a torn benchmark file. *)
 val write_file : string -> t -> unit
 
-(** @raise Failure on parse errors, with the offending line number. *)
-val read_file : string -> t
+(** Never raises: I/O failures yield [Error msg]; parse errors yield
+    [Error "path:line: message"] so CLI diagnostics point at the
+    offending line. *)
+val read_file : string -> (t, string) result

@@ -8,7 +8,10 @@ type spec =
   | Inject_hang of string
 
 let load_bench s =
-  if Sys.file_exists s then Format_io.read_file s
+  if Sys.file_exists s then
+    match Format_io.read_file s with
+    | Ok b -> b
+    | Error e -> failwith e
   else if List.mem s Gen_ispd.names then Gen_ispd.generate s
   else
     let prefixed p =
@@ -47,6 +50,7 @@ type completed = {
   cap_pct : float;
   buffers : int;
   eval_runs : int;
+  digest : int64;
 }
 
 type status =
@@ -59,6 +63,7 @@ type instance_report = {
   status : status;
   seconds : float;
   steps : Core.Flow.trace_entry list;
+  incidents : Core.Flow.incident list;
   trace_path : string;
 }
 
@@ -124,11 +129,26 @@ let trace_line ~name e =
   | Json.Obj fields -> Json.Obj (("bench", Json.Str name) :: fields)
   | other -> other
 
+let incident_json (i : Flow.incident) =
+  Json.Obj
+    [
+      ("event", Json.Str "incident");
+      ("step", Json.Str (Flow.step_name i.Flow.inc_step));
+      ("attempt", Json.Num (float_of_int i.Flow.inc_attempt));
+      ("error", Json.Str i.Flow.inc_error);
+      ("action", Json.Str i.Flow.inc_action);
+    ]
+
+let incident_line ~name i =
+  match incident_json i with
+  | Json.Obj fields -> Json.Obj (("bench", Json.Str name) :: fields)
+  | other -> other
+
 (* ------------------------------------------------------------------ *)
 (* Per-instance execution with fault isolation                         *)
 (* ------------------------------------------------------------------ *)
 
-let run_one ~timeout ~config (spec, trace_path) =
+let run_one ~timeout ~config ~resume (spec, trace_path, checkpoint_dir) =
   let name = spec_name spec in
   (* The per-instance budget lives on the monotonic clock — the scale
      {!Core.Config.deadline} is defined on — so a wall-clock jump (NTP
@@ -137,6 +157,7 @@ let run_one ~timeout ~config (spec, trace_path) =
   let t0 = Core.Monoclock.now () in
   let deadline = Option.map (fun s -> t0 +. s) timeout in
   let steps = ref [] in
+  let incidents = ref [] in
   let oc = open_out trace_path in
   let finish status =
     {
@@ -145,6 +166,7 @@ let run_one ~timeout ~config (spec, trace_path) =
       status;
       seconds = Core.Monoclock.now () -. t0;
       steps = List.rev !steps;
+      incidents = List.rev !incidents;
       trace_path;
     }
   in
@@ -199,11 +221,20 @@ let run_one ~timeout ~config (spec, trace_path) =
           (* Flushed per line so a later crash loses no telemetry. *)
           flush oc
         in
+        (* Incidents stream into the same JSONL file (distinguished by
+           their ["event": "incident"] field) so a later SIGKILL loses
+           neither telemetry nor failure forensics. *)
+        let on_incident i =
+          incidents := i :: !incidents;
+          output_string oc (Json.to_compact_string (incident_line ~name i));
+          output_char oc '\n';
+          flush oc
+        in
         try
           let r =
-            Flow.run ~config ~on_step ~tech:b.Format_io.tech
-              ~source:b.Format_io.source ~obstacles:b.Format_io.obstacles
-              b.Format_io.sinks
+            Flow.run ~config ~on_step ~on_incident ?checkpoint_dir ~resume
+              ~tech:b.Format_io.tech ~source:b.Format_io.source
+              ~obstacles:b.Format_io.obstacles b.Format_io.sinks
           in
           let final = r.Flow.final in
           let stats = final.Ev.stats in
@@ -219,6 +250,7 @@ let run_one ~timeout ~config (spec, trace_path) =
                     else 100. *. stats.Ctree.Stats.total_cap /. cap_limit);
                  buffers = stats.Ctree.Stats.buffer_count;
                  eval_runs = r.Flow.eval_runs;
+                 digest = Ctree.Tree.digest r.Flow.tree;
                })
         with
         | Core.Ivc.Deadline_exceeded -> finish (timed_out ())
@@ -226,10 +258,11 @@ let run_one ~timeout ~config (spec, trace_path) =
           finish (Failed { reason = Crashed; detail = Printexc.to_string e })))
 
 let run ?(out_dir = "bench_out") ?timeout ?jobs ?(config = Core.Config.default)
-    specs =
+    ?checkpoints ?(resume = false) specs =
   mkdir_p out_dir;
   let t0 = Core.Monoclock.now () in
-  (* Unique trace paths even when the same benchmark appears twice. *)
+  (* Unique trace paths (and checkpoint directories) even when the same
+     benchmark appears twice. *)
   let seen = Hashtbl.create 8 in
   let jobs_arr =
     Array.of_list
@@ -240,11 +273,13 @@ let run ?(out_dir = "bench_out") ?timeout ?jobs ?(config = Core.Config.default)
              match Hashtbl.find_opt seen base with Some c -> c + 1 | None -> 1
            in
            Hashtbl.replace seen base count;
-           let file =
-             if count = 1 then base ^ ".trace.jsonl"
-             else Printf.sprintf "%s~%d.trace.jsonl" base count
+           let unique =
+             if count = 1 then base else Printf.sprintf "%s~%d" base count
            in
-           (spec, Filename.concat out_dir file))
+           let ckpt_dir =
+             Option.map (fun root -> Filename.concat root unique) checkpoints
+           in
+           (spec, Filename.concat out_dir (unique ^ ".trace.jsonl"), ckpt_dir))
          specs)
   in
   let pool = Analysis.Domain_pool.create ?size:jobs () in
@@ -252,7 +287,9 @@ let run ?(out_dir = "bench_out") ?timeout ?jobs ?(config = Core.Config.default)
     Fun.protect
       ~finally:(fun () -> Analysis.Domain_pool.shutdown pool)
       (fun () ->
-        Analysis.Domain_pool.map pool (run_one ~timeout ~config) jobs_arr)
+        Analysis.Domain_pool.map pool
+          (run_one ~timeout ~config ~resume)
+          jobs_arr)
   in
   { reports = Array.to_list reports; seconds = Unix.gettimeofday () -. t0;
     out_dir }
@@ -311,12 +348,17 @@ let instance_json r =
         ("cap_pct", Json.Num c.cap_pct);
         ("buffers", Json.Num (float_of_int c.buffers));
         ("eval_runs", Json.Num (float_of_int c.eval_runs));
+        ("tree_digest", Json.Str (Printf.sprintf "%016Lx" c.digest));
       ]
     | Failed { detail; _ } -> [ ("detail", Json.Str detail) ]
   in
   let steps = [ ("steps", Json.List (List.map step_json r.steps)) ] in
+  let incidents =
+    if r.incidents = [] then []
+    else [ ("incidents", Json.List (List.map incident_json r.incidents)) ]
+  in
   let trace = [ ("trace_file", Json.Str (Filename.basename r.trace_path)) ] in
-  Json.Obj (base @ outcome @ steps @ trace)
+  Json.Obj (base @ outcome @ steps @ incidents @ trace)
 
 let to_json result =
   let completed =
@@ -338,10 +380,9 @@ let to_json result =
 
 let write_suite_json result =
   let path = Filename.concat result.out_dir "suite.json" in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Json.to_string (to_json result)));
+  (* Atomic: a crash mid-write never leaves a torn suite.json for a
+     later --baseline diff (or a resume inspection) to choke on. *)
+  Core.Persist.write_atomic path (Json.to_string (to_json result));
   path
 
 let summary_line result =

@@ -56,6 +56,10 @@ type completed = {
   cap_pct : float;  (** total cap as % of the limit; [nan] if unlimited *)
   buffers : int;
   eval_runs : int;
+  digest : int64;
+      (** {!Ctree.Tree.digest} of the final tree — the bit-identity
+          witness behind kill-and-resume equivalence checks (emitted as
+          ["tree_digest"] hex in the JSON report) *)
 }
 
 type status =
@@ -70,6 +74,10 @@ type instance_report = {
   steps : Core.Flow.trace_entry list;
       (** completed steps in flow order — partial when the instance
           failed mid-run *)
+  incidents : Core.Flow.incident list;
+      (** stage failures/retries recorded by the flow, in occurrence
+          order (also streamed into the trace file as
+          ["event": "incident"] JSONL lines) *)
   trace_path : string;  (** the instance's JSONL telemetry file *)
 }
 
@@ -89,10 +97,18 @@ val failures : t -> instance_report list
     one per spare core); [config] seeds every instance's flow
     configuration (its [deadline] is overwritten per instance).
 
+    [checkpoints] is a root directory for per-instance verified flow
+    checkpoints ([<root>/<name>/<STEP>.ckpt], names uniquified like
+    trace files); with [resume] also set, each instance first loads its
+    latest checkpoint and skips the completed stages — re-running a
+    SIGKILLed suite this way converges to bit-identical final trees
+    (compare the ["tree_digest"] fields). [resume] without loadable
+    checkpoints just runs from scratch.
+
     Never raises on instance failure — inspect {!failures}. *)
 val run :
   ?out_dir:string -> ?timeout:float -> ?jobs:int -> ?config:Core.Config.t ->
-  spec list -> t
+  ?checkpoints:string -> ?resume:bool -> spec list -> t
 
 (** The measured-vs-paper summary table (final skew/CLR next to the
     paper's Table IV Contango CLR where the instance is an ISPD'09

@@ -201,7 +201,11 @@ let test_format_file_roundtrip () =
   let b = Suite.Gen_grid.generate ~n:3 () in
   let path = Filename.temp_file "contango" ".cts" in
   Suite.Format_io.write_file path b;
-  let b2 = Suite.Format_io.read_file path in
+  let b2 =
+    match Suite.Format_io.read_file path with
+    | Ok b2 -> b2
+    | Error e -> Alcotest.failf "read_file: %s" e
+  in
   Sys.remove path;
   check_int "sinks survive file" (Array.length b.Suite.Format_io.sinks)
     (Array.length b2.Suite.Format_io.sinks);
