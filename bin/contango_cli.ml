@@ -10,17 +10,22 @@
 open Cmdliner
 module Ev = Analysis.Evaluator
 
+(* The engine knob also picks the Spice representation: [flat] streams
+   the backward-Euler kernel over the flat arena pool, [boxed] (alias
+   [spice]) keeps the boxed reference path. *)
 let engine_conv =
   let parse = function
-    | "spice" -> Ok Ev.Spice
-    | "arnoldi" -> Ok Ev.Arnoldi
-    | "elmore" -> Ok Ev.Elmore_model
+    | "spice" | "boxed" -> Ok (Ev.Spice, false)
+    | "flat" -> Ok (Ev.Spice, true)
+    | "arnoldi" -> Ok (Ev.Arnoldi, false)
+    | "elmore" -> Ok (Ev.Elmore_model, false)
     | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
   in
   let print ppf = function
-    | Ev.Spice -> Format.pp_print_string ppf "spice"
-    | Ev.Arnoldi -> Format.pp_print_string ppf "arnoldi"
-    | Ev.Elmore_model -> Format.pp_print_string ppf "elmore"
+    | Ev.Spice, true -> Format.pp_print_string ppf "flat"
+    | Ev.Spice, false -> Format.pp_print_string ppf "spice"
+    | (Ev.Arnoldi, _) -> Format.pp_print_string ppf "arnoldi"
+    | (Ev.Elmore_model, _) -> Format.pp_print_string ppf "elmore"
   in
   Arg.conv (parse, print)
 
@@ -34,10 +39,17 @@ let load_bench s =
     exit 2
 
 let config_of ?second_pass_skew ?speculation ?probe_count ?size_probe_min_len
-    ?snake_probe_min_len ~engine () =
+    ?snake_probe_min_len ?seg_len ~engine () =
   let c = Core.Config.default in
   let c =
-    match engine with Some e -> { c with Core.Config.engine = e } | None -> c
+    match engine with
+    | Some (e, flat) -> { c with Core.Config.engine = e; flat }
+    | None -> c
+  in
+  let c =
+    match seg_len with
+    | Some l -> { c with Core.Config.seg_len = l }
+    | None -> c
   in
   let c =
     match second_pass_skew with
@@ -64,6 +76,13 @@ let config_of ?second_pass_skew ?speculation ?probe_count ?size_probe_min_len
   | None -> c
 
 (* Optimization-loop knobs shared by the run and suite commands. *)
+let seg_len_arg =
+  Arg.(value & opt (some int) None
+       & info [ "seg-len" ] ~docv:"NM"
+           ~doc:"RC segmentation granularity in nm (default 30000): wires \
+                 are cut into lumped RC segments of at most this length \
+                 for evaluation. Larger values trade accuracy for speed.")
+
 let speculate_arg =
   Arg.(value & opt (some int) None
        & info [ "speculate" ] ~docv:"N"
@@ -126,7 +145,7 @@ let run_cmd =
   let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
   let engine =
     Arg.(value & opt (some engine_conv) None
-         & info [ "engine" ] ~doc:"Evaluation engine (spice, arnoldi, elmore).")
+         & info [ "engine" ] ~doc:"Evaluation engine: spice (boxed reference), flat (streaming flat-arena kernel), arnoldi, elmore.")
   in
   let svg = Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE") in
   let second_pass_skew =
@@ -150,12 +169,12 @@ let run_cmd =
                    there. Runs from scratch when $(docv) has no loadable \
                    checkpoint.")
   in
-  let run spec engine second_pass_skew speculation probe_count
+  let run spec engine seg_len second_pass_skew speculation probe_count
       size_probe_min_len snake_probe_min_len checkpoints resume svg =
     let b = load_bench spec in
     let config =
       config_of ?second_pass_skew ?speculation ?probe_count
-        ?size_probe_min_len ?snake_probe_min_len ~engine ()
+        ?size_probe_min_len ?snake_probe_min_len ?seg_len ~engine ()
     in
     let checkpoint_dir, resume_on =
       match resume with
@@ -212,9 +231,9 @@ let run_cmd =
     Option.iter (write_slack_svg r.Core.Flow.tree r.Core.Flow.final) svg
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the full Contango flow on a benchmark.")
-    Term.(const run $ spec $ engine $ second_pass_skew $ speculate_arg
-          $ probe_count_arg $ size_probe_min_len_arg $ snake_probe_min_len_arg
-          $ checkpoints $ resume $ svg)
+    Term.(const run $ spec $ engine $ seg_len_arg $ second_pass_skew
+          $ speculate_arg $ probe_count_arg $ size_probe_min_len_arg
+          $ snake_probe_min_len_arg $ checkpoints $ resume $ svg)
 
 (* suite *)
 let suite_cmd =
@@ -244,7 +263,7 @@ let suite_cmd =
   in
   let engine =
     Arg.(value & opt (some engine_conv) None
-         & info [ "engine" ] ~doc:"Evaluation engine (spice, arnoldi, elmore).")
+         & info [ "engine" ] ~doc:"Evaluation engine: spice (boxed reference), flat (streaming flat-arena kernel), arnoldi, elmore.")
   in
   let second_pass_skew =
     Arg.(value & opt (some float) None
@@ -283,13 +302,13 @@ let suite_cmd =
                    completed stages (instances without checkpoints run \
                    from scratch), and keep checkpointing there.")
   in
-  let run specs out_dir timeout jobs engine second_pass_skew speculation
-      probe_count size_probe_min_len snake_probe_min_len baseline tol_skew
-      tol_clr checkpoints resume =
+  let run specs out_dir timeout jobs engine seg_len second_pass_skew
+      speculation probe_count size_probe_min_len snake_probe_min_len baseline
+      tol_skew tol_clr checkpoints resume =
     let specs = List.map Suite.Runner.spec_of_string specs in
     let config =
       config_of ?second_pass_skew ?speculation ?probe_count
-        ?size_probe_min_len ?snake_probe_min_len ~engine ()
+        ?size_probe_min_len ?snake_probe_min_len ?seg_len ~engine ()
     in
     let checkpoints_root, resume_on =
       match resume with
@@ -333,7 +352,7 @@ let suite_cmd =
        ~doc:"Run a benchmark suite with fault isolation, per-step JSONL \
              telemetry and optional golden-baseline regression gating.")
     Term.(const run $ specs $ out_dir $ timeout $ jobs $ engine
-          $ second_pass_skew $ speculate_arg $ probe_count_arg
+          $ seg_len_arg $ second_pass_skew $ speculate_arg $ probe_count_arg
           $ size_probe_min_len_arg $ snake_probe_min_len_arg $ baseline
           $ tol_skew $ tol_clr $ checkpoints $ resume)
 

@@ -3,24 +3,35 @@
    every node. For H(s) = Σ (-1)^j m_j s^j of an RC tree all m_j are
    positive. *)
 
-let moment_pass (rc : Rcnet.t) ~r_drv ~weights =
-  let down = Array.copy weights in
+(* [down] holds the pass weights on entry and is accumulated downstream
+   in place; [m] receives the moments. One scratch buffer serves all
+   three passes — the Arnoldi cache-miss path runs this per stage solve,
+   so the former copy-per-pass allocation was measurable. *)
+let moment_pass (rc : Rcnet.t) ~r_drv ~down ~m =
   for i = rc.size - 1 downto 1 do
     down.(rc.parent.(i)) <- down.(rc.parent.(i)) +. down.(i)
   done;
-  let m = Array.make rc.size 0. in
   if rc.size > 0 then m.(0) <- Tech.Units.ps_of_rc r_drv down.(0);
   for i = 1 to rc.size - 1 do
     m.(i) <- m.(rc.parent.(i)) +. Tech.Units.ps_of_rc rc.res.(i) down.(i)
-  done;
-  m
+  done
 
 let moments (rc : Rcnet.t) ~r_drv =
-  let m1 = moment_pass rc ~r_drv ~weights:rc.cap in
-  let w2 = Array.mapi (fun i c -> c *. m1.(i)) rc.cap in
-  let m2 = moment_pass rc ~r_drv ~weights:w2 in
-  let w3 = Array.mapi (fun i c -> c *. m2.(i)) rc.cap in
-  let m3 = moment_pass rc ~r_drv ~weights:w3 in
+  let n = rc.size in
+  let down = Array.make (max n 1) 0. in
+  let m1 = Array.make n 0. in
+  let m2 = Array.make n 0. in
+  let m3 = Array.make n 0. in
+  Array.blit rc.cap 0 down 0 n;
+  moment_pass rc ~r_drv ~down ~m:m1;
+  for i = 0 to n - 1 do
+    down.(i) <- rc.cap.(i) *. m1.(i)
+  done;
+  moment_pass rc ~r_drv ~down ~m:m2;
+  for i = 0 to n - 1 do
+    down.(i) <- rc.cap.(i) *. m2.(i)
+  done;
+  moment_pass rc ~r_drv ~down ~m:m3;
   (m1, m2, m3)
 
 type model =

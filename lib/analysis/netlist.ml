@@ -4,7 +4,7 @@ module Tree = Ctree.Tree
    internals get suffixes. The clock root is driven by a PULSE source
    through the technology's source resistance. *)
 
-let to_string ?(seg_len = 30_000) ?(t_stop = 2000.) tree =
+let to_string ?(seg_len = Rcnet.default_seg_len) ?(t_stop = 2000.) tree =
   let tech = Tree.tech tree in
   let buf = Buffer.create 65536 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in

@@ -12,7 +12,15 @@ type t = {
 
 type stage = { driver : int; rc : t }
 
-(* Growable builder for one stage's rc arrays. *)
+(* The single point of truth for the RC segmentation granularity (nm).
+   [Core.Config.default] and every ?seg_len default below read it. *)
+let default_seg_len = 30_000
+
+(* Growable builder for one stage's rc arrays. Reusable across
+   extractions: [finish] copies the filled prefix out, so [reset] makes
+   the (already grown) buffers available to the next stage without
+   re-allocating — the incremental dirty-set path re-extracts single
+   stages at high frequency. *)
 type builder = {
   mutable parent_b : int array;
   mutable res_b : float array;
@@ -24,6 +32,10 @@ type builder = {
 let new_builder () =
   { parent_b = Array.make 64 (-1); res_b = Array.make 64 0.;
     cap_b = Array.make 64 0.; n = 0; taps_b = [] }
+
+let reset b =
+  b.n <- 0;
+  b.taps_b <- []
 
 let push b ~parent ~res ~cap =
   if b.n = Array.length b.parent_b then begin
@@ -53,9 +65,10 @@ let finish b =
   }
 
 (* Expand one driver's stage. [on_buffer] fires for every downstream
-   buffer reached (the drivers of the next stages). *)
-let build_stage ~seg_len tree ~driver ~on_buffer =
-  let b = new_builder () in
+   buffer reached (the drivers of the next stages). [?builder] lets a
+   caller amortise the growable buffers across extractions. *)
+let build_stage ?builder ~seg_len tree ~driver ~on_buffer =
+  let b = match builder with Some b -> reset b; b | None -> new_builder () in
   let driver_node = Tree.node tree driver in
   let out_cap =
     match driver_node.Tree.kind with
@@ -99,23 +112,25 @@ let build_stage ~seg_len tree ~driver ~on_buffer =
   List.iter (fun c -> expand root_rc c) driver_node.Tree.children;
   { driver; rc = finish b }
 
-let stages ?(seg_len = 30_000) tree =
-  (* Queue of stage drivers to expand, seeded with the source. *)
+let stages ?builder ?(seg_len = default_seg_len) tree =
+  (* Queue of stage drivers to expand, seeded with the source. One
+     builder serves every stage: [finish] copies out, [reset] recycles. *)
+  let builder = match builder with Some b -> b | None -> new_builder () in
   let pending = Queue.create () in
   Queue.add (Tree.root tree) pending;
   let out = ref [] in
   while not (Queue.is_empty pending) do
     let driver = Queue.pop pending in
     let stage =
-      build_stage ~seg_len tree ~driver
+      build_stage ~builder ~seg_len tree ~driver
         ~on_buffer:(fun id -> Queue.add id pending)
     in
     out := stage :: !out
   done;
   List.rev !out
 
-let stage_for ?(seg_len = 30_000) tree ~driver =
-  build_stage ~seg_len tree ~driver ~on_buffer:(fun _ -> ())
+let stage_for ?builder ?(seg_len = default_seg_len) tree ~driver =
+  build_stage ?builder ~seg_len tree ~driver ~on_buffer:(fun _ -> ())
 
 (* 64-bit FNV-1a over the electrical content of a stage: topology (parent
    pointers), element values (bit patterns of res/cap) and the tap layout

@@ -23,17 +23,33 @@ type stage = {
   rc : t;
 }
 
+(** Default RC segmentation granularity, nm (30 µm) — the single source
+    of truth; [Core.Config.default.seg_len] and the [--seg-len] CLI flag
+    default to it. *)
+val default_seg_len : int
+
+(** Reusable growable extraction buffers. {!stages} and {!stage_for} copy
+    the finished stage out of the builder, so one builder can serve any
+    number of extractions — pass it explicitly on hot paths (the
+    incremental dirty-set re-extraction) to avoid re-allocating the
+    growable arrays per stage. Not thread-safe: one builder per domain. *)
+type builder
+
+val new_builder : unit -> builder
+
 (** All stages of a tree in topological order (the source stage first, each
     buffer's stage after the stage containing that buffer's input).
-    [seg_len] is the maximum wire-segment length in nm (default 30 µm). *)
-val stages : ?seg_len:int -> Ctree.Tree.t -> stage list
+    [seg_len] is the maximum wire-segment length in nm (default
+    {!default_seg_len}). *)
+val stages : ?builder:builder -> ?seg_len:int -> Ctree.Tree.t -> stage list
 
 (** Rebuild the single stage driven by [driver] (the source or a buffer),
     without expanding downstream stages — the incremental evaluator's
     dirty-set fast path uses it to re-extract only the stages a journaled
     edit touched. Produces exactly the stage {!stages} would for the same
     driver. *)
-val stage_for : ?seg_len:int -> Ctree.Tree.t -> driver:int -> stage
+val stage_for :
+  ?builder:builder -> ?seg_len:int -> Ctree.Tree.t -> driver:int -> stage
 
 (** Content hash (64-bit FNV-1a) of a stage's electrical identity:
     topology, element values and tap layout. Ctree node ids carried by the

@@ -1,5 +1,6 @@
 type t = {
   engine : Analysis.Evaluator.engine;
+  flat : bool;
   seg_len : int;
   transient_step : float;
   transient_mode : Analysis.Transient.mode;
@@ -39,7 +40,8 @@ let debug_env = Sys.getenv_opt "CONTANGO_DEBUG" <> None
 let default =
   {
     engine = Analysis.Evaluator.Spice;
-    seg_len = 30_000;
+    flat = false;
+    seg_len = Analysis.Rcnet.default_seg_len;
     transient_step = Analysis.Transient.default_step;
     transient_mode = Analysis.Transient.default_mode;
     gamma = 0.10;

@@ -6,7 +6,16 @@
 type t = {
   engine : Analysis.Evaluator.engine;
       (** evaluation engine for every CNE (default [Spice]) *)
-  seg_len : int;       (** RC segmentation granularity, nm *)
+  flat : bool;
+      (** run the [Spice] engine through the flat-arena streaming kernel
+          ({!Analysis.Rcflat} pool + {!Analysis.Transient.Flat} marches)
+          instead of boxed per-stage records; results agree to
+          sub-femtosecond (~1e-6 ps at 100K-node stages), throughput at
+          100K+ RC nodes is several times higher. Ignored by the model
+          engines (default false) *)
+  seg_len : int;
+      (** RC segmentation granularity, nm (default
+          {!Analysis.Rcnet.default_seg_len}) *)
   transient_step : float;
       (** [Spice] engine fine timestep, ps (default
           {!Analysis.Transient.default_step}) *)

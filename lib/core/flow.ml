@@ -100,7 +100,7 @@ let plain_hooks config =
   { Speculate.eval =
       (fun ?edits:_ t ->
         Evaluator.evaluate ~engine:config.Config.engine
-          ~seg_len:config.Config.seg_len
+          ~flat:config.Config.flat ~seg_len:config.Config.seg_len
           ~transient_step:config.Config.transient_step
           ~transient_mode:config.Config.transient_mode t);
     note = (fun ~edits:_ ~new_revision:_ -> ()) }
@@ -432,9 +432,12 @@ let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
       in
       if k = 1 then c
       else
+        (* The most conservative rung also retreats from the flat kernel
+           to the boxed reference path. *)
         { c with
           Config.transient_step = base_config.Config.transient_step /. 2.;
-          incremental = false }
+          incremental = false;
+          flat = false }
     end
   in
   let session = ref None in
@@ -454,7 +457,7 @@ let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
       (if c.Config.incremental then
          Some
            (Evaluator.Incremental.create ~engine:c.Config.engine
-              ~seg_len:c.Config.seg_len
+              ~flat:c.Config.flat ~seg_len:c.Config.seg_len
               ~transient_step:c.Config.transient_step
               ~transient_mode:c.Config.transient_mode !tree)
        else None);
@@ -491,8 +494,8 @@ let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
           (if c.Config.incremental then
              session_hooks
                (Evaluator.Incremental.create ~engine:c.Config.engine
-                  ~seg_len:c.Config.seg_len ~parallel:false
-                  ~transient_step:c.Config.transient_step
+                  ~flat:c.Config.flat ~seg_len:c.Config.seg_len
+                  ~parallel:false ~transient_step:c.Config.transient_step
                   ~transient_mode:c.Config.transient_mode replica)
            else plain_hooks c)
       in

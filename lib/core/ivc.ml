@@ -49,7 +49,7 @@ let hooks config =
     { Speculate.eval =
         (fun ?edits:_ t ->
           Evaluator.evaluate ~engine:config.Config.engine
-            ~seg_len:config.Config.seg_len
+            ~flat:config.Config.flat ~seg_len:config.Config.seg_len
             ~transient_step:config.Config.transient_step
             ~transient_mode:config.Config.transient_mode t);
       note = (fun ~edits:_ ~new_revision:_ -> ()) }
