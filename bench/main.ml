@@ -27,6 +27,11 @@ let passes_only = Sys.getenv_opt "CONTANGO_BENCH_PASSES" <> None
    boxed reference throughput benchmark (writes kernel_bench.json with a
    top-level speedup_100k field — the CI throughput-regression guard). *)
 let kernel_only = Sys.getenv_opt "CONTANGO_BENCH_KERNEL" <> None
+
+(* CONTANGO_BENCH_REGION=1: run only the regional-vs-monolithic flow
+   benchmark at ti:20000 (writes region_bench.json with a top-level
+   speedup field — the CI regional-performance guard). *)
+let region_only = Sys.getenv_opt "CONTANGO_BENCH_REGION" <> None
 let out_dir = "bench_out"
 
 let fmt = Suite.Report.fmt
@@ -1040,11 +1045,88 @@ let pass_bench () =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Regional vs monolithic end-to-end flow (the PR's headline number)    *)
+(* ------------------------------------------------------------------ *)
+
+(* One monolithic and one regional run of the same ti:20000 instance
+   under the scalability configuration (flat streaming kernel, 60 µm
+   segments). The speedup is algorithmic as much as parallel: each
+   region's optimization loops work on a quarter-size tree with sub-ps
+   local skew, so none of them (nor the stitched polish) triggers the
+   expensive monolithic second pass. *)
+let region_bench () =
+  let open Suite.Report.Json in
+  section "Regional partition + stitch vs monolithic flow (ti:20000)";
+  let bench = Suite.Gen_ti.generate 20_000 in
+  let base_config =
+    { Core.Config.default with
+      Core.Config.engine = Ev.Spice;
+      flat = true;
+      seg_len = 60_000 }
+  in
+  let workers = max 1 (Domain.recommended_domain_count () - 1) in
+  let flow config =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Core.Flow.run_regional ~config ~tech:bench.Suite.Format_io.tech
+        ~source:bench.Suite.Format_io.source
+        ~obstacles:bench.Suite.Format_io.obstacles
+        bench.Suite.Format_io.sinks
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "  monolithic...%!";
+  let mono, mono_s = flow base_config in
+  Printf.printf " %.1f s, skew %.3f ps\n%!" mono_s
+    mono.Core.Flow.r_flow.Core.Flow.final.Ev.skew;
+  Printf.printf "  regional (12 regions, %d workers)...%!" workers;
+  let reg, reg_s = flow { base_config with Core.Config.regions = 12 } in
+  Printf.printf " %.1f s, skew %.3f ps\n%!" reg_s
+    reg.Core.Flow.r_flow.Core.Flow.final.Ev.skew;
+  let speedup = mono_s /. reg_s in
+  Printf.printf "  speedup %.2fx\n" speedup;
+  let region_json (rg : Core.Flow.region_report) =
+    Obj
+      [
+        ("region", Num (float_of_int rg.Core.Flow.rg_index));
+        ("sinks", Num (float_of_int rg.Core.Flow.rg_sinks));
+        ("skew_ps", Num rg.Core.Flow.rg_skew);
+        ("seconds", Num rg.Core.Flow.rg_seconds);
+        ("eval_runs", Num (float_of_int rg.Core.Flow.rg_eval_runs));
+      ]
+  in
+  let json =
+    Obj
+      [
+        ("instance", Str "ti20000");
+        ("workers", Num (float_of_int workers));
+        ("regions", Num 12.);
+        ("monolithic_s", Num mono_s);
+        ("monolithic_skew_ps", Num mono.Core.Flow.r_flow.Core.Flow.final.Ev.skew);
+        ("regional_s", Num reg_s);
+        ("regional_skew_ps", Num reg.Core.Flow.r_flow.Core.Flow.final.Ev.skew);
+        ("speedup", Num speedup);
+        ("region_detail",
+         match reg.Core.Flow.r_stitch with
+         | None -> List []
+         | Some st ->
+           List (List.map region_json st.Core.Flow.st_regions));
+      ]
+  in
+  let path = Filename.concat out_dir "region_bench.json" in
+  Core.Persist.write_atomic path (to_string json);
+  Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let t0 = Unix.gettimeofday () in
-  if passes_only then begin
+  if region_only then begin
+    region_bench ();
+    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  end
+  else if passes_only then begin
     pass_bench ();
     Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
   end

@@ -39,8 +39,22 @@ let load_bench s =
     exit 2
 
 let config_of ?second_pass_skew ?speculation ?probe_count ?size_probe_min_len
-    ?snake_probe_min_len ?seg_len ~engine () =
+    ?snake_probe_min_len ?seg_len ?regions ?(regional = false) ?stitch_skew
+    ~engine () =
   let c = Core.Config.default in
+  (* [--regional] alone picks a sensible region count; an explicit
+     [--regions] always wins. *)
+  let c =
+    match (regions, regional) with
+    | Some r, _ -> { c with Core.Config.regions = r }
+    | None, true -> { c with Core.Config.regions = 8 }
+    | None, false -> c
+  in
+  let c =
+    match stitch_skew with
+    | Some s -> { c with Core.Config.stitch_skew_ps = s }
+    | None -> c
+  in
   let c =
     match engine with
     | Some (e, flat) -> { c with Core.Config.engine = e; flat }
@@ -107,6 +121,26 @@ let snake_probe_min_len_arg =
        & info [ "snake-probe-min-len" ] ~docv:"NM"
            ~doc:"Minimum parent-wire length for a snaking probe site.")
 
+let regions_arg =
+  Arg.(value & opt (some int) None
+       & info [ "regions" ] ~docv:"N"
+           ~doc:"Partition the sinks into N capacity-balanced regions, \
+                 synthesize each region concurrently and stitch them under \
+                 a latency-balanced top-level tree. 1 (the default) is the \
+                 monolithic flow, bit-identical to not passing the flag.")
+
+let regional_arg =
+  Arg.(value & flag
+       & info [ "regional" ]
+           ~doc:"Shorthand for the regional flow with a default region \
+                 count (8). An explicit $(b,--regions) takes precedence.")
+
+let stitch_skew_arg =
+  Arg.(value & opt (some float) None
+       & info [ "stitch-skew" ] ~docv:"PS"
+           ~doc:"Global skew (ps) below which the regional stitch polish \
+                 loop stops (default 1.0). Only read when regions > 1.")
+
 let write_slack_svg tree eval path =
   let slacks = Core.Slack.combined tree eval in
   let hi =
@@ -170,24 +204,41 @@ let run_cmd =
                    checkpoint.")
   in
   let run spec engine seg_len second_pass_skew speculation probe_count
-      size_probe_min_len snake_probe_min_len checkpoints resume svg =
+      size_probe_min_len snake_probe_min_len regions regional stitch_skew
+      checkpoints resume svg =
     let b = load_bench spec in
     let config =
       config_of ?second_pass_skew ?speculation ?probe_count
-        ?size_probe_min_len ?snake_probe_min_len ?seg_len ~engine ()
+        ?size_probe_min_len ?snake_probe_min_len ?seg_len ?regions ~regional
+        ?stitch_skew ~engine ()
     in
     let checkpoint_dir, resume_on =
       match resume with
       | Some dir -> (Some dir, true)
       | None -> (checkpoints, false)
     in
-    let r =
-      Core.Flow.run ~config ?checkpoint_dir ~resume:resume_on
+    let rr =
+      Core.Flow.run_regional ~config ?checkpoint_dir ~resume:resume_on
         ~tech:b.Suite.Format_io.tech ~source:b.Suite.Format_io.source
         ~obstacles:b.Suite.Format_io.obstacles b.Suite.Format_io.sinks
     in
+    let r = rr.Core.Flow.r_flow in
     Printf.printf "benchmark %s (%d sinks)\n" b.Suite.Format_io.name
       (Array.length b.Suite.Format_io.sinks);
+    (match rr.Core.Flow.r_stitch with
+    | None -> ()
+    | Some st ->
+      List.iter
+        (fun (rg : Core.Flow.region_report) ->
+          Printf.printf
+            "region %-2d %6d sinks   skew %8.3f ps   evals %4d   %6.1f s\n"
+            rg.Core.Flow.rg_index rg.Core.Flow.rg_sinks rg.Core.Flow.rg_skew
+            rg.Core.Flow.rg_eval_runs rg.Core.Flow.rg_seconds)
+        st.Core.Flow.st_regions;
+      Printf.printf
+        "stitch: predicted skew %.3f ps, %d polish rounds, max pad %.3f ps\n"
+        st.Core.Flow.st_predicted_skew st.Core.Flow.st_rounds
+        st.Core.Flow.st_max_pad_ps);
     List.iter
       (fun (e : Core.Flow.trace_entry) ->
         Printf.printf "%-8s skew %8.3f ps   CLR %8.3f ps   evals %4d   %6.1f s\n"
@@ -233,7 +284,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run the full Contango flow on a benchmark.")
     Term.(const run $ spec $ engine $ seg_len_arg $ second_pass_skew
           $ speculate_arg $ probe_count_arg $ size_probe_min_len_arg
-          $ snake_probe_min_len_arg $ checkpoints $ resume $ svg)
+          $ snake_probe_min_len_arg $ regions_arg $ regional_arg
+          $ stitch_skew_arg $ checkpoints $ resume $ svg)
 
 (* suite *)
 let suite_cmd =
@@ -303,12 +355,13 @@ let suite_cmd =
                    from scratch), and keep checkpointing there.")
   in
   let run specs out_dir timeout jobs engine seg_len second_pass_skew
-      speculation probe_count size_probe_min_len snake_probe_min_len baseline
-      tol_skew tol_clr checkpoints resume =
+      speculation probe_count size_probe_min_len snake_probe_min_len regions
+      regional stitch_skew baseline tol_skew tol_clr checkpoints resume =
     let specs = List.map Suite.Runner.spec_of_string specs in
     let config =
       config_of ?second_pass_skew ?speculation ?probe_count
-        ?size_probe_min_len ?snake_probe_min_len ?seg_len ~engine ()
+        ?size_probe_min_len ?snake_probe_min_len ?seg_len ?regions ~regional
+        ?stitch_skew ~engine ()
     in
     let checkpoints_root, resume_on =
       match resume with
@@ -353,7 +406,8 @@ let suite_cmd =
              telemetry and optional golden-baseline regression gating.")
     Term.(const run $ specs $ out_dir $ timeout $ jobs $ engine
           $ seg_len_arg $ second_pass_skew $ speculate_arg $ probe_count_arg
-          $ size_probe_min_len_arg $ snake_probe_min_len_arg $ baseline
+          $ size_probe_min_len_arg $ snake_probe_min_len_arg $ regions_arg
+          $ regional_arg $ stitch_skew_arg $ baseline
           $ tol_skew $ tol_clr $ checkpoints $ resume)
 
 (* eval (baseline) *)

@@ -66,7 +66,10 @@ let help_one pool =
     Mutex.unlock pool.lock;
     false
 
-let map pool f xs =
+(* [order] is a permutation of [0, n): the submission schedule. Results
+   land in input order regardless; only which job the workers see first —
+   and which one the caller crunches itself — changes. *)
+let map_order pool ~order f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else if size pool = 0 || n = 1 then Array.map f xs
@@ -87,13 +90,15 @@ let map pool f xs =
       end
     in
     Mutex.lock pool.lock;
-    for i = 1 to n - 1 do
+    for k = 1 to n - 1 do
+      let i = order.(k) in
       Queue.add (fun () -> run i) pool.queue
     done;
     Condition.broadcast pool.nonempty;
     Mutex.unlock pool.lock;
-    (* The caller takes job 0 itself, then helps drain the queue. *)
-    run 0;
+    (* The caller takes the schedule's first job itself, then helps
+       drain the queue. *)
+    run order.(0);
     while help_one pool do () done;
     Mutex.lock done_lock;
     while Atomic.get remaining > 0 do
@@ -108,6 +113,21 @@ let map pool f xs =
           | Some y -> y
           | None -> assert false))
   end
+
+let map pool f xs =
+  map_order pool ~order:(Array.init (Array.length xs) Fun.id) f xs
+
+let map_weighted pool ~weight f xs =
+  let n = Array.length xs in
+  let w = Array.map weight xs in
+  let order = Array.init n Fun.id in
+  (* Heaviest first, ties broken by input index so the schedule — and
+     with it any counter interleaving — is deterministic. *)
+  Array.sort
+    (fun a b ->
+      match Int.compare w.(b) w.(a) with 0 -> Int.compare a b | c -> c)
+    order;
+  map_order pool ~order f xs
 
 (* Lazily created process-wide pool, reaped at exit so multicore hosts do
    not hang on dangling domains. *)

@@ -24,6 +24,14 @@ val shutdown : t -> unit
     jobs finish. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
+(** [map_weighted pool ~weight f xs] — {!map}, but jobs are submitted to
+    the queue heaviest-first (ties broken by input index), so a big job
+    scheduled last in input order cannot become the tail the whole pool
+    waits on. The calling domain takes the heaviest job itself. Results
+    stay in input order; on a size-0 pool this is plain sequential
+    [Array.map], like {!map}. *)
+val map_weighted : t -> weight:('a -> int) -> ('a -> 'b) -> 'a array -> 'b array
+
 (** The shared lazily-created pool (default size), joined automatically
     at process exit. *)
 val global : unit -> t

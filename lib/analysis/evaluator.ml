@@ -323,7 +323,7 @@ let evaluate ?(engine = Spice) ?(flat = false) ?seg_len ?transient_step
     let arena = Arena.compile tree in
     let pool = Rcflat.compile ?seg_len arena in
     let fcache = Transient.Flat.Fcache.create () in
-    let ws = Transient.workspace () in
+    let ws = Transient.domain_workspace () in
     let solve si ~r_drv ~s_drv =
       Transient.Flat.solve ?step:transient_step ?mode:transient_mode ~fcache
         ~ws pool ~si ~r_drv ~s_drv
@@ -349,7 +349,7 @@ let evaluate ?(engine = Spice) ?(flat = false) ?seg_len ?transient_step
       match engine with
       | Spice ->
         ( Some (Transient.Fcache.create ()),
-          Some (Transient.workspace ()),
+          Some (Transient.domain_workspace ()),
           Some (Array.map (fun st -> Rcnet.fingerprint st.Rcnet.rc) stages) )
       | Arnoldi | Elmore_model -> (None, None, None)
     in

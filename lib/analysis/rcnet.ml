@@ -112,10 +112,17 @@ let build_stage ?builder ~seg_len tree ~driver ~on_buffer =
   List.iter (fun c -> expand root_rc c) driver_node.Tree.children;
   { driver; rc = finish b }
 
+(* One lazily-created builder per domain: [finish] copies every stage
+   out, so the grown arrays can serve consecutive extractions — including
+   the regional flow's many trees per pool worker — without per-call
+   allocation. Safe because extraction never nests within a domain. *)
+let domain_builder_key = Domain.DLS.new_key new_builder
+let domain_builder () = Domain.DLS.get domain_builder_key
+
 let stages ?builder ?(seg_len = default_seg_len) tree =
   (* Queue of stage drivers to expand, seeded with the source. One
      builder serves every stage: [finish] copies out, [reset] recycles. *)
-  let builder = match builder with Some b -> b | None -> new_builder () in
+  let builder = match builder with Some b -> b | None -> domain_builder () in
   let pending = Queue.create () in
   Queue.add (Tree.root tree) pending;
   let out = ref [] in
@@ -130,7 +137,8 @@ let stages ?builder ?(seg_len = default_seg_len) tree =
   List.rev !out
 
 let stage_for ?builder ?(seg_len = default_seg_len) tree ~driver =
-  build_stage ?builder ~seg_len tree ~driver ~on_buffer:(fun _ -> ())
+  let builder = match builder with Some b -> b | None -> domain_builder () in
+  build_stage ~builder ~seg_len tree ~driver ~on_buffer:(fun _ -> ())
 
 (* 64-bit FNV-1a over the electrical content of a stage: topology (parent
    pointers), element values (bit patterns of res/cap) and the tap layout

@@ -37,10 +37,17 @@ type builder
 
 val new_builder : unit -> builder
 
+(** The calling domain's lazily-created builder ([Domain.DLS]): the
+    default for {!stages}/{!stage_for} when no builder is passed, so
+    repeated extractions on one domain — e.g. the regional flow's
+    per-worker region trees — reuse the grown arrays instead of
+    allocating fresh ones per call. *)
+val domain_builder : unit -> builder
+
 (** All stages of a tree in topological order (the source stage first, each
     buffer's stage after the stage containing that buffer's input).
     [seg_len] is the maximum wire-segment length in nm (default
-    {!default_seg_len}). *)
+    {!default_seg_len}); [builder] defaults to {!domain_builder}. *)
 val stages : ?builder:builder -> ?seg_len:int -> Ctree.Tree.t -> stage list
 
 (** Rebuild the single stage driven by [driver] (the source or a buffer),

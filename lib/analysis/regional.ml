@@ -1,0 +1,79 @@
+type summary = {
+  skew_rise : float;
+  skew_fall : float;
+  skew : float;
+  t_min : float;
+  t_max : float;
+  clr : float;
+  slew_violations : int;
+}
+
+(* Region-local nominal/corner spread, shifted by the region's offset.
+   Mirrors [Evaluator.summarize]'s spread (NaN entries skipped). *)
+let spread offset (r : Evaluator.run) sinks =
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      let l = r.Evaluator.latency.(s) in
+      if not (Float.is_nan l) then begin
+        if l < !lo then lo := l;
+        if l > !hi then hi := l
+      end)
+    sinks;
+  (offset +. !lo, offset +. !hi)
+
+let find_run (ev : Evaluator.t) corner tr =
+  List.find
+    (fun (r : Evaluator.run) ->
+      Evaluator.corner_equal r.Evaluator.corner corner
+      && r.Evaluator.transition = tr)
+    ev.Evaluator.runs
+
+(* Global spread of one (corner, transition) pass: min/max over the
+   per-region shifted spreads. *)
+let global_spread parts corner tr =
+  List.fold_left
+    (fun (glo, ghi) (offset, ev) ->
+      let lo, hi = spread offset (find_run ev corner tr) ev.Evaluator.sinks in
+      (Float.min glo lo, Float.max ghi hi))
+    (infinity, neg_infinity) parts
+
+let combine ~tech parts =
+  if parts = [] then invalid_arg "Regional.combine: no regions";
+  let corners = tech.Tech.corners in
+  let nominal = List.hd corners in
+  let slow_corner =
+    List.fold_left
+      (fun acc c ->
+        if c.Tech.Corner.r_scale > acc.Tech.Corner.r_scale then c else acc)
+      nominal corners
+  in
+  let lo_r, hi_r = global_spread parts nominal Evaluator.Rise in
+  let lo_f, hi_f = global_spread parts nominal Evaluator.Fall in
+  let clr_of tr =
+    let _, hi = global_spread parts slow_corner tr in
+    let lo, _ = global_spread parts nominal tr in
+    hi -. lo
+  in
+  {
+    skew_rise = hi_r -. lo_r;
+    skew_fall = hi_f -. lo_f;
+    skew = Float.max (hi_r -. lo_r) (hi_f -. lo_f);
+    t_min = Float.min lo_r lo_f;
+    t_max = Float.max hi_r hi_f;
+    clr = Float.max (clr_of Evaluator.Rise) (clr_of Evaluator.Fall);
+    slew_violations =
+      List.fold_left
+        (fun acc (_, ev) -> acc + ev.Evaluator.slew_violations)
+        0 parts;
+  }
+
+let pad_targets parts =
+  let mids =
+    List.map
+      (fun (offset, (ev : Evaluator.t)) ->
+        offset +. ((ev.Evaluator.t_min +. ev.Evaluator.t_max) /. 2.))
+      parts
+  in
+  let top = List.fold_left Float.max neg_infinity mids in
+  Array.of_list (List.map (fun m -> Float.max 0. (top -. m)) mids)

@@ -1,0 +1,33 @@
+(** Cross-region skew combining for the regional flow.
+
+    Each region of {!Core.Flow.run_regional} is optimized standalone, so
+    its {!Evaluator.t} speaks in region-local arrival times. Once the
+    stitching top tree's tap latencies are measured, every regional sink
+    arrival becomes [offset + local arrival] — these helpers fold the
+    per-region results under those offsets into global skew/CLR figures
+    and derive the delay padding that equalises the regions, without
+    re-evaluating the stitched tree. *)
+
+type summary = {
+  skew_rise : float;
+  skew_fall : float;
+  skew : float;  (** max of the two, ps *)
+  t_min : float;
+  t_max : float;
+  clr : float;
+      (** slowest corner's max minus nominal corner's min, max over
+          transitions — mirrors {!Evaluator.t.clr} *)
+  slew_violations : int;  (** summed over regions *)
+}
+
+(** [combine ~tech parts] — the global summary of regions evaluated under
+    per-region latency offsets (ps). [tech] supplies the corner list
+    (nominal = head, slow = max resistance scale), exactly as the
+    evaluator's own summary does. @raise Invalid_argument on []. *)
+val combine : tech:Tech.t -> (float * Evaluator.t) list -> summary
+
+(** [pad_targets parts] — per-region delay padding (ps, ≥ 0, same order)
+    that aligns every region's nominal latency-window midpoint with the
+    slowest region's: the initial wire-snaking budget for the stitch
+    polish loop. *)
+val pad_targets : (float * Evaluator.t) list -> float array

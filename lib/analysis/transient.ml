@@ -131,6 +131,13 @@ let workspace () =
     vb1 = [||]; vc0 = [||]; vc1 = [||]; cap_w = 0; prev = [||];
     nextk = [||]; live = [||] }
 
+(* One lazily-created workspace per domain — the fallback when a caller
+   passes no [?ws], so ad-hoc solves on a pool worker (the regional
+   flow's per-region extractions, one-off probes) reuse the grown state
+   arrays across calls instead of reallocating them. *)
+let domain_workspace_key = Domain.DLS.new_key workspace
+let domain_workspace () = Domain.DLS.get domain_workspace_key
+
 let grow ws ~n ~w =
   if ws.cap_n < n then begin
     let c = Int.max n (Int.max 64 (2 * ws.cap_n)) in
@@ -482,7 +489,7 @@ let simulate ?(step = default_step) ?(mode = default_mode) ?factored ?fcache
   let n = rc.size in
   if n = 0 then { solves = 0; fine_equiv = 0; truncated = false }
   else begin
-    let ws = match ws with Some w -> w | None -> workspace () in
+    let ws = match ws with Some w -> w | None -> domain_workspace () in
     grow ws ~n ~w:(Array.length watch);
     let g0 = 1. /. r_drv in
     let ramp = s_drv /. 0.8 in
@@ -851,7 +858,7 @@ module Flat = struct
 
   let solve ?step ?mode ?max_steps ~fcache ?ws (p : Rcflat.t) ~si ~r_drv
       ~s_drv =
-    let ws = match ws with Some w -> w | None -> workspace () in
+    let ws = match ws with Some w -> w | None -> domain_workspace () in
     let prepped = prep ?step ?mode ~fcache ~scratch:ws p ~si ~r_drv in
     solve_prepped ?step ?max_steps ~ws p ~si ~prepped ~r_drv ~s_drv
 

@@ -37,6 +37,11 @@ type workspace
 
 val workspace : unit -> workspace
 
+(** The calling domain's lazily-created workspace ([Domain.DLS]) — the
+    fallback used by {!solve}/{!simulate} when no [?ws] is passed, so
+    ad-hoc solves on one domain reuse the grown arrays across calls. *)
+val domain_workspace : unit -> workspace
+
 (** Per-(stage, step) factorisation cache keyed by {!Rcnet.fingerprint}.
     The backward-Euler factor depends on the timestep, so each rate of the
     multi-rate kernel gets its own entry. Bounded: the table is reset when

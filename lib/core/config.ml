@@ -26,6 +26,8 @@ type t = {
   size_probe_min_len : int;
   snake_probe_min_len : int;
   max_stage_retries : int;
+  regions : int;
+  stitch_skew_ps : float;
   inject_numerical_failures : int;
   debug : bool;
   evaluator : Speculate.hooks option;
@@ -66,6 +68,8 @@ let default =
     size_probe_min_len = 20_000;
     snake_probe_min_len = 5_000;
     max_stage_retries = 2;
+    regions = 1;
+    stitch_skew_ps = 1.0;
     inject_numerical_failures = 0;
     debug = debug_env;
     evaluator = None;

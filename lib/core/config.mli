@@ -98,6 +98,18 @@ type t = {
           (speculation off → fixed-mode halved-step serial evaluation);
           after a stage succeeds the normal configuration is restored.
           [0] disables stage retry entirely (failures propagate) *)
+  regions : int;
+      (** how many geometric regions {!Flow.run_regional} partitions the
+          sinks into (recursive capacity-balanced bisection). Each region
+          is synthesized and optimized as an independent tree in parallel
+          on the domain pool, then stitched under a latency-balanced top
+          tree. [1] (the default) is the monolithic flow, bit-identical
+          to {!Flow.run}; values are clamped so no region gets fewer than
+          two sinks *)
+  stitch_skew_ps : float;
+      (** convergence band for the post-stitch global polish loop: the
+          loop stops once the measured cross-region skew drops below this
+          (or its round budget runs out). Only read when [regions > 1] *)
   inject_numerical_failures : int;
       (** fault-injection knob for tests and drills: after the initial
           evaluation, the first [n] evaluations raise

@@ -1,7 +1,7 @@
 module Tree = Ctree.Tree
 module Evaluator = Analysis.Evaluator
 
-type step = Initial | Tbsz | Twsz | Twsn | Bwsn
+type step = Initial | Tbsz | Twsz | Twsn | Bwsn | Stitch | Polish
 
 let step_name = function
   | Initial -> "INITIAL"
@@ -9,6 +9,8 @@ let step_name = function
   | Twsz -> "TWSZ"
   | Twsn -> "TWSN"
   | Bwsn -> "BWSN"
+  | Stitch -> "STITCH"
+  | Polish -> "POLISH"
 
 let step_of_name = function
   | "INITIAL" -> Some Initial
@@ -16,9 +18,18 @@ let step_of_name = function
   | "TWSZ" -> Some Twsz
   | "TWSN" -> Some Twsn
   | "BWSN" -> Some Bwsn
+  | "STITCH" -> Some Stitch
+  | "POLISH" -> Some Polish
   | _ -> None
 
-let rank = function Initial -> 0 | Tbsz -> 1 | Twsz -> 2 | Twsn -> 3 | Bwsn -> 4
+let rank = function
+  | Initial -> 0
+  | Tbsz -> 1
+  | Twsz -> 2
+  | Twsn -> 3
+  | Bwsn -> 4
+  | Stitch -> 5
+  | Polish -> 6
 
 type trace_entry = {
   step : step;
@@ -768,3 +779,476 @@ let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
     eval_runs = Evaluator.eval_count () - runs0;
     seconds = Monoclock.now () -. t0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Regional synthesis: partition the sinks geometrically, run the full
+   monolithic flow over every region in parallel (each with the region
+   centroid as its source), synthesize a top-level tree over pseudo-sinks
+   at those centroids, graft the regional trees onto its taps by
+   abutment, and close the loop with a measured global polish that snakes
+   the top-level tap feeds until the stitched skew converges. *)
+
+type region_report = {
+  rg_index : int;
+  rg_sinks : int;
+  rg_skew : float;
+  rg_clr : float;
+  rg_t_max : float;
+  rg_seconds : float;
+  rg_eval_runs : int;
+  rg_incidents : int;
+}
+
+type stitch_report = {
+  st_regions : region_report list;
+  st_predicted_skew : float;
+  st_rounds : int;
+  st_max_pad_ps : float;
+}
+
+type regional_result = {
+  r_flow : result;
+  r_stitch : stitch_report option;
+}
+
+let region_label i = Printf.sprintf "__region%d" i
+
+(* Polish rounds are bounded independently of [max_rounds]: each round is
+   one whole-tree balancing edit plus one (incremental) evaluation, and
+   the damped gap shrinks geometrically, so convergence is fast or not at
+   all. *)
+let max_polish_rounds = 4
+
+let run_regional ?(config = Config.default) ?on_step ?on_incident
+    ?checkpoint_dir ?(resume = false) ?jobs ~tech ~source ?(obstacles = [])
+    sinks =
+  let n = Array.length sinks in
+  (* Never let a region shrink below two sinks: degenerate cells stitch
+     poorly and gain nothing over the monolithic flow. *)
+  let regions = max 1 (min config.Config.regions (n / 2)) in
+  if regions <= 1 then
+    { r_flow =
+        run ~config ?on_step ?on_incident ?checkpoint_dir ~resume ~tech
+          ~source ~obstacles sinks;
+      r_stitch = None }
+  else begin
+    let t0 = Monoclock.now () in
+    let runs0 = Evaluator.eval_count () in
+    let kc0 = Analysis.Transient.counters () in
+    let evaluate_plain t =
+      Evaluator.evaluate ~engine:config.Config.engine ~flat:config.Config.flat
+        ~seg_len:config.Config.seg_len
+        ~transient_step:config.Config.transient_step
+        ~transient_mode:config.Config.transient_mode t
+    in
+    (* Fast resume: a verified POLISH checkpoint is the completed regional
+       flow. Region membership is not recoverable from the stitched tree,
+       so the per-region telemetry is gone, but the tree, metadata and
+       headline metrics all survive at the cost of one evaluation. *)
+    let polish_ckpt =
+      if resume then
+        Option.bind checkpoint_dir (fun dir ->
+            let file = Checkpoint.path ~dir Polish in
+            if not (Sys.file_exists file) then None
+            else
+              match Checkpoint.load ~tech file with
+              | Ok l when l.Checkpoint.ck_step = Polish -> Some l
+              | Ok _ | Error _ -> None)
+      else None
+    in
+    match polish_ckpt with
+    | Some l ->
+      let ev = evaluate_plain l.Checkpoint.ck_tree in
+      let now = Monoclock.now () in
+      let trace =
+        List.map
+          (fun m ->
+            { step = m.m_step; skew = m.m_skew; clr = m.m_clr;
+              t_max = m.m_t_max;
+              eval_runs = Evaluator.eval_count () - runs0;
+              seconds = now -. t0; cache_hits = 0; cache_misses = 0;
+              step_seconds = 0.; kernel_solves = 0; kernel_saved = 0;
+              kernel_truncations = 0; attempts = 0; accepts = 0 })
+          l.Checkpoint.ck_metas
+      in
+      List.iter (fun e -> match on_step with Some f -> f e | None -> ()) trace;
+      { r_flow =
+          { tree = l.Checkpoint.ck_tree; trace; final = ev;
+            chosen_buf = l.Checkpoint.ck_buf;
+            polarity = l.Checkpoint.ck_polarity;
+            repair = l.Checkpoint.ck_repair; incidents = [];
+            eval_runs = Evaluator.eval_count () - runs0;
+            seconds = Monoclock.now () -. t0 };
+        r_stitch = None }
+    | None ->
+      let incidents = ref [] in
+      let note_incident inc =
+        incidents := inc :: !incidents;
+        match on_incident with Some f -> f inc | None -> ()
+      in
+      let incident step attempt error action =
+        note_incident
+          { inc_step = step; inc_attempt = attempt; inc_error = error;
+            inc_action = action }
+      in
+      let parts = Partition.split ~regions sinks in
+      let regions = Array.length parts in
+      let centroids = Array.map (Partition.centroid sinks) parts in
+      (* Region and top flows run monolithically whatever the caller's
+         region count says, each under its own checkpoint subdirectory. *)
+      let sub_config = { config with Config.regions = 1 } in
+      let sub_dir name =
+        Option.map (fun d -> Filename.concat d name) checkpoint_dir
+      in
+      (* Heaviest region first, so the pool never tail-waits on the big
+         one. Incidents are collected per region and forwarded serially
+         afterwards — [on_incident] is not required to be thread-safe. *)
+      let region_runs =
+        let pool = Analysis.Domain_pool.create ?size:jobs () in
+        Fun.protect
+          ~finally:(fun () -> Analysis.Domain_pool.shutdown pool)
+          (fun () ->
+            Analysis.Domain_pool.map_weighted pool
+              ~weight:(fun i -> Array.length parts.(i))
+              (fun i ->
+                let region_sinks = Array.map (Array.get sinks) parts.(i) in
+                let incs = ref [] in
+                let r =
+                  run ~config:sub_config
+                    ~on_incident:(fun inc -> incs := inc :: !incs)
+                    ?checkpoint_dir:(sub_dir (Printf.sprintf "region_%d" i))
+                    ~resume ~tech ~source:centroids.(i) ~obstacles
+                    region_sinks
+                in
+                (r, List.rev !incs))
+              (Array.init regions Fun.id))
+      in
+      Array.iter
+        (fun ((_ : result), incs) -> List.iter note_incident incs)
+        region_runs;
+      (* The stitching top tree: one pseudo-sink per region at the region
+         centroid, loaded with the regional root buffer's input pin and
+         carrying its inversion parity, so sink parities survive the
+         graft. *)
+      let pseudo_sinks =
+        Array.mapi
+          (fun i (r, _) ->
+            { Dme.Zst.pos = centroids.(i);
+              cap = Tech.Composite.c_in r.chosen_buf;
+              parity = (if Tech.Composite.inverting r.chosen_buf then 1 else 0);
+              label = region_label i })
+          region_runs
+      in
+      let top =
+        let incs = ref [] in
+        let r =
+          run ~config:sub_config
+            ~on_incident:(fun inc -> incs := inc :: !incs)
+            ?checkpoint_dir:(sub_dir "top") ~resume ~tech ~source ~obstacles
+            pseudo_sinks
+        in
+        List.iter note_incident !incs;
+        r
+      in
+      let stitched = top.tree in
+      let taps =
+        let tbl = Hashtbl.create (2 * regions) in
+        Array.iter
+          (fun s ->
+            match (Tree.node stitched s).Tree.kind with
+            | Tree.Sink sk -> Hashtbl.replace tbl sk.Tree.label s
+            | Tree.Source | Tree.Internal | Tree.Buffer _ -> ())
+          (Tree.sinks stitched);
+        Array.init regions (fun i ->
+            match Hashtbl.find_opt tbl (region_label i) with
+            | Some s -> s
+            | None ->
+              raise
+                (Invariant_violation
+                   [ "run_regional: top tree lost tap " ^ region_label i ]))
+      in
+      (* Predicted cross-region figures before the stitched evaluation:
+         each region's local arrivals shifted by the measured top-tree tap
+         arrival plus the tap buffer's nominal gate delay. *)
+      let nominal_corner = List.hd tech.Tech.corners in
+      let tap_offset i (r : result) =
+        let at f =
+          let rr = Evaluator.nominal_run top.final Evaluator.Rise in
+          let rf = Evaluator.nominal_run top.final Evaluator.Fall in
+          (f rr +. f rf) /. 2.
+        in
+        let tap = taps.(i) in
+        let arrival = at (fun (run : Evaluator.run) -> run.Evaluator.latency.(tap)) in
+        let slew = at (fun (run : Evaluator.run) -> run.Evaluator.slew.(tap)) in
+        arrival
+        +. (Tech.Composite.d_intrinsic r.chosen_buf
+            *. nominal_corner.Tech.Corner.d_scale)
+        +. (Tech.Composite.slew_coeff r.chosen_buf *. slew)
+      in
+      let offset_parts =
+        Array.to_list
+          (Array.mapi (fun i (r, _) -> (tap_offset i r, r.final)) region_runs)
+      in
+      let predicted = Analysis.Regional.combine ~tech offset_parts in
+      let pads = Analysis.Regional.pad_targets offset_parts in
+      let max_pad = Array.fold_left Float.max 0. pads in
+      (* Abutment graft: every regional tree is copied under its tap,
+         which becomes the regional root buffer. *)
+      let region_sink_ids =
+        Array.mapi
+          (fun i (r, _) ->
+            let map =
+              Tree.graft stitched ~at:taps.(i) ~buf:r.chosen_buf ~src:r.tree
+            in
+            Array.map (Array.get map) (Tree.sinks r.tree))
+          region_runs
+      in
+      (match Ctree.Validate.check stitched with
+      | [] -> ()
+      | errs -> raise (Invariant_violation errs));
+      (* Regions synthesized independently need not agree on per-path
+         stage counts — a stage-pair gap between two regions is two gate
+         delays of cross-region skew (with rise/fall asymmetry) that no
+         wire tuning can repay. Same remedy as the monolithic flow's
+         initial tree: parity-preserving inverter-pair insertion. *)
+      if config.Config.stage_balancing then
+        ignore (Stage_balance.equalize stitched ~buf:top.chosen_buf);
+      let session =
+        if config.Config.incremental then
+          Some
+            (Evaluator.Incremental.create ~engine:config.Config.engine
+               ~flat:config.Config.flat ~seg_len:config.Config.seg_len
+               ~transient_step:config.Config.transient_step
+               ~transient_mode:config.Config.transient_mode stitched)
+        else None
+      in
+      let eval_full ?edits () =
+        match session with
+        | Some s -> Evaluator.Incremental.refresh ?edits s
+        | None -> evaluate_plain stitched
+      in
+      let check_deadline step =
+        match config.Config.deadline with
+        | Some d when Monoclock.now () > d ->
+          incident step 0 "deadline exceeded" "deadline";
+          raise Ivc.Deadline_exceeded
+        | Some _ | None -> ()
+      in
+      let trace = ref [] in
+      let last_t = ref t0 in
+      let last_kc = ref kc0 in
+      let last_hits = ref 0 and last_misses = ref 0 in
+      let record step (ev : Evaluator.t) ~attempts ~accepts =
+        let now = Monoclock.now () in
+        let hits, misses =
+          match session with
+          | Some s ->
+            let st = Evaluator.Incremental.stats s in
+            (st.Evaluator.hits, st.Evaluator.misses)
+          | None -> (0, 0)
+        in
+        let kc = Analysis.Transient.counters () in
+        let entry =
+          { step; skew = ev.Evaluator.skew; clr = ev.Evaluator.clr;
+            t_max = ev.Evaluator.t_max;
+            eval_runs = Evaluator.eval_count () - runs0;
+            seconds = now -. t0;
+            cache_hits = hits - !last_hits;
+            cache_misses = misses - !last_misses;
+            step_seconds = now -. !last_t;
+            kernel_solves =
+              kc.Analysis.Transient.total_solves
+              - !last_kc.Analysis.Transient.total_solves;
+            kernel_saved =
+              kc.Analysis.Transient.total_saved
+              - !last_kc.Analysis.Transient.total_saved;
+            kernel_truncations =
+              kc.Analysis.Transient.total_truncations
+              - !last_kc.Analysis.Transient.total_truncations;
+            attempts; accepts }
+        in
+        trace := entry :: !trace;
+        last_t := now;
+        last_hits := hits;
+        last_misses := misses;
+        last_kc := kc;
+        match on_step with Some f -> f entry | None -> ()
+      in
+      check_deadline Stitch;
+      let stitched_ev = eval_full () in
+      record Stitch stitched_ev ~attempts:0 ~accepts:0;
+      let att0 = Ivc.attempts () and acc0 = Ivc.accepts () in
+      (* Global polish: per round, measure every region's nominal latency
+         window on the stitched tree, snake the tap feed of each lagging
+         region towards the slowest one (damped), refresh through the
+         dirty-set fast path and keep the edit only if the global skew
+         strictly improved without new violations. A rejected round halves
+         the damping — the linear snake model overshoots near
+         convergence. *)
+      let best = ref stitched_ev in
+      let rounds = ref 0 and accepts = ref 0 in
+      let damping = ref config.Config.damping in
+      let continue_ = ref true in
+      while
+        !continue_ && !rounds < max_polish_rounds
+        && !best.Evaluator.skew > config.Config.stitch_skew_ps
+      do
+        check_deadline Polish;
+        incr rounds;
+        let sens = Probes.sensitivities stitched in
+        let mid i =
+          let ids = region_sink_ids.(i) in
+          let lo = ref infinity and hi = ref neg_infinity in
+          List.iter
+            (fun (run : Evaluator.run) ->
+              Array.iter
+                (fun s ->
+                  let l = run.Evaluator.latency.(s) in
+                  if not (Float.is_nan l) then begin
+                    if l < !lo then lo := l;
+                    if l > !hi then hi := l
+                  end)
+                ids)
+            [ Evaluator.nominal_run !best Evaluator.Rise;
+              Evaluator.nominal_run !best Evaluator.Fall ];
+          (!lo +. !hi) /. 2.
+        in
+        let mids = Array.init regions mid in
+        let lead = Array.fold_left Float.max neg_infinity mids in
+        let unit = config.Config.snake_unit in
+        let deltas =
+          Array.mapi
+            (fun i m ->
+              let gap_ps = (lead -. m) *. !damping in
+              let per_nm = sens.Probes.snake_delay.(taps.(i)) in
+              if gap_ps <= 0. || per_nm <= 1e-12 then 0
+              else
+                let nm =
+                  min
+                    (int_of_float (gap_ps /. per_nm))
+                    config.Config.max_snake_per_round
+                in
+                nm / unit * unit)
+            mids
+        in
+        if Array.for_all (fun d -> d = 0) deltas then continue_ := false
+        else begin
+          let j = Tree.Journal.start stitched in
+          Array.iteri
+            (fun i d ->
+              if d > 0 then
+                Tree.set_snake stitched taps.(i)
+                  ((Tree.node stitched taps.(i)).Tree.snake + d))
+            deltas;
+          let touched = Tree.Journal.touched j in
+          let base_rev = Tree.Journal.base_revision j in
+          let post_rev = Tree.revision stitched in
+          let ev =
+            eval_full
+              ~edits:{ Evaluator.base_revision = base_rev; nodes = touched }
+              ()
+          in
+          if
+            ev.Evaluator.skew < !best.Evaluator.skew -. 1e-9
+            && ev.Evaluator.slew_violations <= !best.Evaluator.slew_violations
+            && (ev.Evaluator.cap_ok || not !best.Evaluator.cap_ok)
+          then begin
+            Tree.Journal.commit j;
+            best := ev;
+            incr accepts
+          end
+          else begin
+            Tree.Journal.rollback j;
+            (match session with
+            | Some s ->
+              Evaluator.Incremental.note_edits s
+                ~edits:
+                  (Some { Evaluator.base_revision = post_rev; nodes = touched })
+                ~new_revision:(Tree.revision stitched)
+            | None -> ());
+            damping := !damping /. 2.;
+            if !damping < 0.05 then continue_ := false
+          end
+        end
+      done;
+      (* The tap feeds alone cannot repay a large inter-region latency gap:
+         a single multi-millimetre snake breaks the slew limit at the tap
+         buffer's input and every such round is rejected. The proven
+         top-down wiresnaking pass finishes the job — it distributes the
+         remaining padding over the grafted subtrees under per-site slew
+         headroom and RSlack budgets, through the same incremental
+         session. *)
+      if !best.Evaluator.skew > config.Config.stitch_skew_ps then begin
+        let hooks =
+          match session with
+          | Some s -> session_hooks s
+          | None -> plain_hooks config
+        in
+        let polish_cfg =
+          { config with Config.regions = 1; evaluator = Some hooks;
+            spec = None }
+        in
+        match Wiresnaking.run polish_cfg stitched ~baseline:!best with
+        | exception Ivc.Deadline_exceeded ->
+          incident Polish 0 "deadline exceeded" "deadline";
+          raise Ivc.Deadline_exceeded
+        | wsn -> best := wsn.Wiresnaking.eval
+      end;
+      record Polish !best
+        ~attempts:(!rounds + Ivc.attempts () - att0)
+        ~accepts:(!accepts + Ivc.accepts () - acc0);
+      let polarity =
+        Array.fold_left
+          (fun acc ((r : result), _) ->
+            { Polarity.inverted_before =
+                acc.Polarity.inverted_before
+                + r.polarity.Polarity.inverted_before;
+              added = acc.Polarity.added + r.polarity.Polarity.added })
+          top.polarity region_runs
+      in
+      let meta_of step (ev : Evaluator.t) =
+        { m_step = step; m_skew = ev.Evaluator.skew; m_clr = ev.Evaluator.clr;
+          m_t_max = ev.Evaluator.t_max;
+          m_slew_waived = ev.Evaluator.slew_violations > 0;
+          m_cap_waived = not ev.Evaluator.cap_ok }
+      in
+      (match checkpoint_dir with
+      | None -> ()
+      | Some dir ->
+        if
+          Float.is_finite !best.Evaluator.skew
+          && Float.is_finite !best.Evaluator.clr
+          && Float.is_finite !best.Evaluator.t_max
+        then (
+          try
+            Checkpoint.save ~dir ~step:Polish ~tree:stitched
+              ~buf:top.chosen_buf ~polarity ~repair:top.repair
+              ~metas:[ meta_of Stitch stitched_ev; meta_of Polish !best ]
+          with e ->
+            incident Polish 0 (Printexc.to_string e) "checkpoint-skipped")
+        else
+          incident Polish 0 "non-finite skew/CLR/latency" "checkpoint-skipped");
+      let st_regions =
+        Array.to_list
+          (Array.mapi
+             (fun i ((r : result), incs) ->
+               { rg_index = i; rg_sinks = Array.length parts.(i);
+                 rg_skew = r.final.Evaluator.skew;
+                 rg_clr = r.final.Evaluator.clr;
+                 rg_t_max = r.final.Evaluator.t_max;
+                 rg_seconds = r.seconds; rg_eval_runs = r.eval_runs;
+                 rg_incidents = List.length incs })
+             region_runs)
+      in
+      { r_flow =
+          { tree = stitched; trace = List.rev !trace; final = !best;
+            chosen_buf = top.chosen_buf; polarity; repair = top.repair;
+            incidents = List.rev !incidents;
+            eval_runs = Evaluator.eval_count () - runs0;
+            seconds = Monoclock.now () -. t0 };
+        r_stitch =
+          Some
+            { st_regions;
+              st_predicted_skew = predicted.Analysis.Regional.skew;
+              st_rounds = !rounds; st_max_pad_ps = max_pad } }
+  end

@@ -18,7 +18,11 @@
     times. Completed stages can be persisted as verified checkpoints and
     resumed after a crash. *)
 
-type step = Initial | Tbsz | Twsz | Twsn | Bwsn
+(** The two extra steps belong to {!run_regional} only: [Stitch] is the
+    evaluation of the grafted global tree, [Polish] the measured
+    cross-region balancing loop that follows. The monolithic {!run} never
+    emits them. *)
+type step = Initial | Tbsz | Twsz | Twsn | Bwsn | Stitch | Polish
 
 val step_name : step -> string
 
@@ -167,3 +171,80 @@ val initial_tree :
   ?config:Config.t -> tech:Tech.t -> source:Geometry.Point.t ->
   ?obstacles:Geometry.Rect.t list -> Dme.Zst.sink_spec array ->
   Ctree.Tree.t * Tech.Composite.t * Polarity.report * Route.Repair.report option
+
+(** What one region of a regional run did: the region's standalone flow
+    result condensed. [rg_eval_runs] and [rg_seconds] are the region
+    flow's own totals (regions run concurrently, so the seconds overlap
+    and do not sum to the wall clock). *)
+type region_report = {
+  rg_index : int;      (** position in {!Partition.split} order *)
+  rg_sinks : int;
+  rg_skew : float;     (** region-local nominal skew, ps *)
+  rg_clr : float;
+  rg_t_max : float;
+  rg_seconds : float;
+  rg_eval_runs : int;
+  rg_incidents : int;
+}
+
+type stitch_report = {
+  st_regions : region_report list;
+  st_predicted_skew : float;
+      (** global skew predicted by {!Analysis.Regional.combine} from the
+          regional results and the measured top-tree tap latencies, before
+          the stitched tree was first evaluated *)
+  st_rounds : int;      (** polish rounds run (accepted or not) *)
+  st_max_pad_ps : float;
+      (** largest initial per-region delay-padding target
+          ({!Analysis.Regional.pad_targets}) *)
+}
+
+type regional_result = {
+  r_flow : result;
+      (** the stitched global tree and its trace; the trace carries one
+          [Stitch] and one [Polish] entry (region stages are not
+          re-streamed — each region already has its own checkpointed
+          flow) *)
+  r_stitch : stitch_report option;
+      (** [None] when the run degenerated to the monolithic flow
+          (regions <= 1 after clamping) or was fast-resumed from a
+          POLISH checkpoint *)
+}
+
+(** [run_regional] — the partitioned variant of {!run}:
+    {!Partition.split} cuts the sinks into [config.regions]
+    capacity-balanced cells (clamped so no region gets fewer than two
+    sinks); every region runs the full monolithic flow concurrently on a
+    dedicated domain pool ([jobs] workers, default
+    [Domain.recommended_domain_count () - 1]), sourced at its centroid;
+    a top-level tree is synthesized over one pseudo-sink per region
+    (loaded with the regional root buffer's input pin, carrying its
+    inversion parity) and the regional trees are grafted onto its taps
+    ({!Ctree.Tree.graft}); finally a measured polish loop snakes the
+    top-level tap feeds ({!Config.t.damping}-damped, journaled,
+    improvement-checked) until the stitched nominal skew falls below
+    [config.stitch_skew_ps] or the moves stop helping.
+
+    With [config.regions <= 1] (or after clamping) this is exactly
+    {!run} — bit-identical result, [r_stitch = None].
+
+    The result is deterministic for a given sink set and configuration
+    regardless of [jobs]: the partition is deterministic, region flows
+    are independent, and the polish loop is serial.
+
+    [checkpoint_dir] gives every region flow its own subdirectory
+    ([region_<i>/]), the top flow [top/], and the finished stitched tree
+    a POLISH checkpoint in [checkpoint_dir] itself. With [resume], a
+    loadable POLISH checkpoint short-circuits the whole run (one
+    verification evaluation); otherwise regions and the top flow resume
+    from their own latest checkpoints and the stitch/polish re-runs.
+
+    [on_step] receives the [Stitch] and [Polish] trace entries;
+    [on_incident] receives region and top incidents (forwarded serially
+    after each flow finishes) and stitch-phase incidents as they occur. *)
+val run_regional :
+  ?config:Config.t -> ?on_step:(trace_entry -> unit) ->
+  ?on_incident:(incident -> unit) -> ?checkpoint_dir:string ->
+  ?resume:bool -> ?jobs:int -> tech:Tech.t -> source:Geometry.Point.t ->
+  ?obstacles:Geometry.Rect.t list -> Dme.Zst.sink_spec array ->
+  regional_result

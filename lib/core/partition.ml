@@ -1,0 +1,73 @@
+open Geometry
+
+(* Recursive capacity-balanced bisection. Each level sorts the cell's
+   sink indices along the longer bounding-box dimension (ties broken by
+   the other coordinate, then by index — a total order, so the partition
+   is deterministic) and cuts where the cumulative capacitance reaches
+   the child regions' share of the total. *)
+
+let bbox (sinks : Dme.Zst.sink_spec array) idxs =
+  Array.fold_left
+    (fun (lx, ly, hx, hy) i ->
+      let p = sinks.(i).Dme.Zst.pos in
+      (min lx p.Point.x, min ly p.Point.y, max hx p.Point.x, max hy p.Point.y))
+    (max_int, max_int, min_int, min_int)
+    idxs
+
+let split ~regions (sinks : Dme.Zst.sink_spec array) =
+  let n = Array.length sinks in
+  if n = 0 then invalid_arg "Partition.split: empty sink set";
+  if regions < 1 then invalid_arg "Partition.split: regions < 1";
+  let regions = min regions n in
+  let out = ref [] in
+  let rec bisect r idxs =
+    if r <= 1 then begin
+      let cell = Array.copy idxs in
+      Array.sort Int.compare cell;
+      out := cell :: !out
+    end
+    else begin
+      let r1 = r / 2 in
+      let lx, ly, hx, hy = bbox sinks idxs in
+      let along_x = hx - lx >= hy - ly in
+      let key i =
+        let p = sinks.(i).Dme.Zst.pos in
+        if along_x then (p.Point.x, p.Point.y, i)
+        else (p.Point.y, p.Point.x, i)
+      in
+      let sorted = Array.copy idxs in
+      Array.sort (fun a b -> compare (key a) (key b)) sorted;
+      let total =
+        Array.fold_left (fun acc i -> acc +. sinks.(i).Dme.Zst.cap) 0. sorted
+      in
+      let target = total *. float_of_int r1 /. float_of_int r in
+      (* First cut at or past the capacitance target, clamped so each
+         child keeps at least one sink per region it must still form. *)
+      let m = Array.length sorted in
+      let cut = ref 0 and acc = ref 0. in
+      while !cut < m && !acc < target do
+        acc := !acc +. sinks.(sorted.(!cut)).Dme.Zst.cap;
+        incr cut
+      done;
+      let cut = max r1 (min (m - (r - r1)) !cut) in
+      bisect r1 (Array.sub sorted 0 cut);
+      bisect (r - r1) (Array.sub sorted cut (m - cut))
+    end
+  in
+  bisect regions (Array.init n Fun.id);
+  (* [out] accumulates depth-first right-to-left; reverse restores the
+     left-to-right (spatial) order. *)
+  Array.of_list (List.rev !out)
+
+let centroid (sinks : Dme.Zst.sink_spec array) idxs =
+  let m = Array.length idxs in
+  if m = 0 then invalid_arg "Partition.centroid: empty selection";
+  let sx = ref 0. and sy = ref 0. in
+  Array.iter
+    (fun i ->
+      let p = sinks.(i).Dme.Zst.pos in
+      sx := !sx +. float_of_int p.Point.x;
+      sy := !sy +. float_of_int p.Point.y)
+    idxs;
+  let f s = int_of_float (Float.round (s /. float_of_int m)) in
+  Point.make (f !sx) (f !sy)

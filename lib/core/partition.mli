@@ -1,0 +1,19 @@
+(** Geometric sink partitioning for the regional flow: recursive
+    capacity-balanced bisection of the sink set into [regions] cells.
+
+    The split is purely deterministic — cut axis chosen by bounding-box
+    aspect, cut position by cumulative capacitance — so a given sink set
+    and region count always produce the same partition, which in turn
+    keeps {!Flow.run_regional} digest-stable across worker counts. *)
+
+(** [split ~regions sinks] — indices into [sinks], one array per region,
+    each sorted ascending. Every region is non-empty; the capacitance of
+    sibling cells at each bisection differs by at most one sink's cap.
+    [regions] is clamped to [1, Array.length sinks].
+    @raise Invalid_argument when [sinks] is empty or [regions < 1]. *)
+val split : regions:int -> Dme.Zst.sink_spec array -> int array array
+
+(** Rounded average position of the selected sinks — the pseudo-sink /
+    regional source location used by the stitching top tree.
+    @raise Invalid_argument on an empty selection. *)
+val centroid : Dme.Zst.sink_spec array -> int array -> Geometry.Point.t

@@ -437,6 +437,56 @@ let assign ~dst ~src =
   dst.n <- src.n;
   touch dst
 
+(* Abutment graft for the regional flow: [src]'s whole tree (minus its
+   source) is appended onto [t], with [src]'s source node identified with
+   the childless node [at] — which becomes a [Buffer buf], the regional
+   root driver. Ids are assigned in [src] topological order, so the graft
+   is deterministic; the returned map translates reachable [src] ids
+   (map.(0) = [at], unreachable ids = -1). One [touch], no journal. *)
+let graft t ~at ~buf ~src =
+  if t.journal <> None then invalid_arg "Tree.graft: active journal";
+  if src.journal <> None then invalid_arg "Tree.graft: source has a journal";
+  if not (t.tech == src.tech) then
+    invalid_arg "Tree.graft: technology mismatch";
+  let tap = node t at in
+  (match tap.kind with
+  | Source -> invalid_arg "Tree.graft: cannot graft onto the source"
+  | Internal | Buffer _ | Sink _ -> ());
+  if tap.children <> [] then invalid_arg "Tree.graft: tap has children";
+  let src_root = src.nodes.(0) in
+  if not (Point.equal tap.pos src_root.pos) then
+    invalid_arg "Tree.graft: tap and source positions differ";
+  let order = topo_order src in
+  let map = Array.make src.n (-1) in
+  map.(0) <- at;
+  (* First assign every id, then materialise the nodes: children lists
+     reference ids that topological order has not visited yet. *)
+  let next = ref t.n in
+  Array.iter
+    (fun i ->
+      if i <> 0 then begin
+        map.(i) <- !next;
+        incr next
+      end)
+    order;
+  Array.iter
+    (fun i ->
+      if i <> 0 then begin
+        let sn = src.nodes.(i) in
+        grow t;
+        t.nodes.(t.n) <-
+          { sn with
+            id = map.(i);
+            parent = map.(sn.parent);
+            children = List.map (fun c -> map.(c)) sn.children };
+        t.n <- t.n + 1
+      end)
+    order;
+  tap.kind <- Buffer buf;
+  tap.children <- List.map (fun c -> map.(c)) src_root.children;
+  touch t;
+  map
+
 (* 64-bit FNV-1a over the full structural content (ids, topology, kinds,
    geometry, embeddings). Two trees with equal digests are — up to hash
    collision — identical inputs to every downstream analysis; the

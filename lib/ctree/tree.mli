@@ -153,6 +153,19 @@ val copies : unit -> int
     journal. *)
 val assign : dst:t -> src:t -> unit
 
+(** [graft t ~at ~buf ~src] — abutment graft for the regional flow:
+    appends [src]'s reachable nodes (minus its source) onto [t],
+    identifying [src]'s source with [t]'s childless node [at], which
+    becomes a [Buffer buf] (the regional root driver — it isolates the
+    grafted subtree into its own driver stages). New ids follow [src]'s
+    topological order, so grafting is deterministic. Returns the
+    [src]-id → [t]-id map ([map.(0) = at]; -1 for unreachable nodes).
+    Counts as one revision bump. Both trees must share the same
+    technology (physically), carry no active journal, and [at] must be a
+    childless non-source node at exactly [src]'s source position.
+    @raise Invalid_argument otherwise. *)
+val graft : t -> at:int -> buf:Tech.Composite.t -> src:t -> int array
+
 (** 64-bit FNV-1a content hash over the full structural state (topology,
     kinds, buffer parameters, geometry, embeddings). Equal digests mean —
     up to hash collision — identical trees; used by the parallel-vs-serial

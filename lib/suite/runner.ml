@@ -60,6 +60,7 @@ type status =
 type instance_report = {
   name : string;
   sinks : int;
+  regions : int;
   status : status;
   seconds : float;
   steps : Core.Flow.trace_entry list;
@@ -158,11 +159,13 @@ let run_one ~timeout ~config ~resume (spec, trace_path, checkpoint_dir) =
   let deadline = Option.map (fun s -> t0 +. s) timeout in
   let steps = ref [] in
   let incidents = ref [] in
+  let regions_used = ref 1 in
   let oc = open_out trace_path in
   let finish status =
     {
       name;
       sinks = spec_sinks spec;
+      regions = !regions_used;
       status;
       seconds = Core.Monoclock.now () -. t0;
       steps = List.rev !steps;
@@ -231,11 +234,58 @@ let run_one ~timeout ~config ~resume (spec, trace_path, checkpoint_dir) =
           flush oc
         in
         try
-          let r =
-            Flow.run ~config ~on_step ~on_incident ?checkpoint_dir ~resume
-              ~tech:b.Format_io.tech ~source:b.Format_io.source
+          (* [run_regional] with [regions <= 1] delegates to the plain
+             flow bit-for-bit, so every instance goes through one entry
+             point. *)
+          let rr =
+            Flow.run_regional ~config ~on_step ~on_incident ?checkpoint_dir
+              ~resume ~tech:b.Format_io.tech ~source:b.Format_io.source
               ~obstacles:b.Format_io.obstacles b.Format_io.sinks
           in
+          let r = rr.Flow.r_flow in
+          (* Per-region telemetry joins the JSONL stream (these lines only
+             exist once the stitched run finished, unlike the streamed
+             step lines). *)
+          (match rr.Flow.r_stitch with
+          | None -> ()
+          | Some st ->
+            regions_used := List.length st.Flow.st_regions;
+            List.iter
+              (fun (rg : Flow.region_report) ->
+                let line =
+                  Json.Obj
+                    [
+                      ("bench", Json.Str name);
+                      ("event", Json.Str "region");
+                      ("region", Json.Num (float_of_int rg.Flow.rg_index));
+                      ("sinks", Json.Num (float_of_int rg.Flow.rg_sinks));
+                      ("skew_ps", Json.Num rg.Flow.rg_skew);
+                      ("clr_ps", Json.Num rg.Flow.rg_clr);
+                      ("t_max_ps", Json.Num rg.Flow.rg_t_max);
+                      ("seconds", Json.Num rg.Flow.rg_seconds);
+                      ("eval_runs",
+                       Json.Num (float_of_int rg.Flow.rg_eval_runs));
+                      ("incidents",
+                       Json.Num (float_of_int rg.Flow.rg_incidents));
+                    ]
+                in
+                output_string oc (Json.to_compact_string line);
+                output_char oc '\n')
+              st.Flow.st_regions;
+            let line =
+              Json.Obj
+                [
+                  ("bench", Json.Str name);
+                  ("event", Json.Str "stitch");
+                  ("predicted_skew_ps", Json.Num st.Flow.st_predicted_skew);
+                  ("polish_rounds",
+                   Json.Num (float_of_int st.Flow.st_rounds));
+                  ("max_pad_ps", Json.Num st.Flow.st_max_pad_ps);
+                ]
+            in
+            output_string oc (Json.to_compact_string line);
+            output_char oc '\n';
+            flush oc);
           let final = r.Flow.final in
           let stats = final.Ev.stats in
           let cap_limit = b.Format_io.tech.Tech.cap_limit in
@@ -287,11 +337,14 @@ let run ?(out_dir = "bench_out") ?timeout ?jobs ?(config = Core.Config.default)
     Fun.protect
       ~finally:(fun () -> Analysis.Domain_pool.shutdown pool)
       (fun () ->
-        Analysis.Domain_pool.map pool
+        (* Largest instance first: on a multi-worker pool this keeps the
+           tail of the suite from waiting on the biggest benchmark. *)
+        Analysis.Domain_pool.map_weighted pool
+          ~weight:(fun (spec, _, _) -> spec_sinks spec)
           (run_one ~timeout ~config ~resume)
           jobs_arr)
   in
-  { reports = Array.to_list reports; seconds = Unix.gettimeofday () -. t0;
+  { reports = Array.to_list reports; seconds = Core.Monoclock.now () -. t0;
     out_dir }
 
 (* ------------------------------------------------------------------ *)
@@ -334,6 +387,7 @@ let instance_json r =
     [
       ("name", Json.Str r.name);
       ("sinks", Json.Num (float_of_int r.sinks));
+      ("regions", Json.Num (float_of_int r.regions));
       ("status", Json.Str (status_word r.status));
       ("seconds", Json.Num r.seconds);
     ]

@@ -69,6 +69,12 @@ type status =
 type instance_report = {
   name : string;
   sinks : int;
+  regions : int;
+      (** regions the instance actually ran with after clamping (1 =
+          monolithic). Regional instances additionally stream one
+          ["event":"region"] JSONL line per region and one
+          ["event":"stitch"] line into the trace file once the stitched
+          run finishes. *)
   status : status;
   seconds : float;
   steps : Core.Flow.trace_entry list;
@@ -77,7 +83,7 @@ type instance_report = {
   incidents : Core.Flow.incident list;
       (** stage failures/retries recorded by the flow, in occurrence
           order (also streamed into the trace file as
-          ["event": "incident"] JSONL lines) *)
+          ["event":"incident"] JSONL lines) *)
   trace_path : string;  (** the instance's JSONL telemetry file *)
 }
 
