@@ -32,6 +32,11 @@ let kernel_only = Sys.getenv_opt "CONTANGO_BENCH_KERNEL" <> None
    benchmark at ti:20000 (writes region_bench.json with a top-level
    speedup field — the CI regional-performance guard). *)
 let region_only = Sys.getenv_opt "CONTANGO_BENCH_REGION" <> None
+
+(* CONTANGO_BENCH_SERVE=1: run only the serve-daemon benchmark — sustained
+   concurrent request throughput against an in-process daemon plus the
+   cross-request cache-hit rate. Writes bench_out/serve_bench.json. *)
+let serve_only = Sys.getenv_opt "CONTANGO_BENCH_SERVE" <> None
 let out_dir = "bench_out"
 
 let fmt = Suite.Report.fmt
@@ -326,11 +331,11 @@ let write_json results table5_rows =
 (* ------------------------------------------------------------------ *)
 
 let time_runs reps f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Core.Monoclock.now () in
   for _ = 1 to reps do
     f ()
   done;
-  (Unix.gettimeofday () -. t0) /. float_of_int reps
+  (Core.Monoclock.now () -. t0) /. float_of_int reps
 
 (* Accuracy-vs-speed sweep of the adaptive transient kernel on ZST-built
    (skew-balanced, unbuffered) stages: the realistic clock-stage shape,
@@ -1066,14 +1071,14 @@ let region_bench () =
   in
   let workers = max 1 (Domain.recommended_domain_count () - 1) in
   let flow config =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Core.Monoclock.now () in
     let r =
       Core.Flow.run_regional ~config ~tech:bench.Suite.Format_io.tech
         ~source:bench.Suite.Format_io.source
         ~obstacles:bench.Suite.Format_io.obstacles
         bench.Suite.Format_io.sinks
     in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Core.Monoclock.now () -. t0)
   in
   Printf.printf "  monolithic...%!";
   let mono, mono_s = flow base_config in
@@ -1118,25 +1123,123 @@ let region_bench () =
   Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* Serve-daemon benchmark (CONTANGO_BENCH_SERVE=1)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sustained concurrent throughput against an in-process [contango serve]
+   daemon. A warm-up pass populates the shared evaluator/factorization
+   store with one run of each spec; the measured phase then replays the
+   same specs from several client threads at once, so every request after
+   warm-up should be served out of the cross-request store. The headline
+   numbers are requests/sec during the measured phase and the
+   cross-request hit rate (store hits over store lookups) — the CI gate
+   requires the latter to be nonzero. *)
+let serve_bench () =
+  section "Serve daemon — sustained concurrent requests (shared caches)";
+  let open Suite.Report.Json in
+  let specs = [| "ti:60"; "ti:100"; "grid:4" |] in
+  let clients = 4 and per_client = 6 in
+  let path = Filename.concat out_dir "serve_bench.sock" in
+  let server =
+    Serve.Server.create ~max_queue:32 (Unix.ADDR_UNIX path)
+  in
+  let addr = Serve.Server.sockaddr server in
+  let server_thread = Thread.create Serve.Server.serve server in
+  if not (Serve.Client.wait_ready addr) then
+    failwith "serve_bench: daemon did not come up";
+  let run_request spec =
+    match
+      Serve.Client.oneshot addr
+        (Serve.Protocol.Run { spec; timeout_s = Some 120. })
+    with
+    | Ok (Serve.Protocol.Completed { body; _ }) -> body
+    | Ok (Serve.Protocol.Busy _) -> failwith "serve_bench: unexpected Busy"
+    | Ok (Serve.Protocol.Failed { code; detail }) ->
+      failwith (Printf.sprintf "serve_bench: request failed (%s): %s" code detail)
+    | Error msg -> failwith ("serve_bench: bad response: " ^ msg)
+  in
+  Printf.printf "  warm-up (%d specs)...\n%!" (Array.length specs);
+  Array.iter (fun spec -> ignore (run_request spec)) specs;
+  Printf.printf "  measured phase: %d clients x %d requests...\n%!" clients
+    per_client;
+  let store_hits = Atomic.make 0 and store_lookups = Atomic.make 0 in
+  let cache_field body name =
+    match to_float (Option.bind (member "cache" body) (member name)) with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  let t0 = Core.Monoclock.now () in
+  let threads =
+    List.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per_client - 1 do
+              let spec = specs.((c + i) mod Array.length specs) in
+              let body = run_request spec in
+              let h = cache_field body "store_hits"
+              and m = cache_field body "store_misses" in
+              ignore (Atomic.fetch_and_add store_hits h);
+              ignore (Atomic.fetch_and_add store_lookups (h + m))
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Core.Monoclock.now () -. t0 in
+  let total = clients * per_client in
+  let rps = float_of_int total /. elapsed in
+  let hit_rate =
+    if Atomic.get store_lookups = 0 then 0.
+    else float_of_int (Atomic.get store_hits)
+         /. float_of_int (Atomic.get store_lookups)
+  in
+  (match Serve.Client.oneshot addr Serve.Protocol.Shutdown with
+  | Ok _ -> ()
+  | Error msg -> Printf.eprintf "  shutdown response: %s\n" msg);
+  Thread.join server_thread;
+  Printf.printf
+    "  %d requests in %.2f s — %.1f req/s, cross-request hit rate %.3f\n"
+    total elapsed rps hit_rate;
+  let json =
+    Obj
+      [
+        ("clients", Num (float_of_int clients));
+        ("requests", Num (float_of_int total));
+        ("seconds", Num elapsed);
+        ("requests_per_sec", Num rps);
+        ("store_hits", Num (float_of_int (Atomic.get store_hits)));
+        ("store_lookups", Num (float_of_int (Atomic.get store_lookups)));
+        ("cross_request_hit_rate", Num hit_rate);
+        ("specs", List (Array.to_list (Array.map (fun s -> Str s) specs)));
+      ]
+  in
+  let out = Filename.concat out_dir "serve_bench.json" in
+  Core.Persist.write_atomic out (to_string json);
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let t0 = Unix.gettimeofday () in
-  if region_only then begin
+  let t0 = Core.Monoclock.now () in
+  if serve_only then begin
+    serve_bench ();
+    Printf.printf "\ntotal harness time: %.1f s\n" (Core.Monoclock.now () -. t0)
+  end
+  else if region_only then begin
     region_bench ();
-    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\ntotal harness time: %.1f s\n" (Core.Monoclock.now () -. t0)
   end
   else if passes_only then begin
     pass_bench ();
-    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\ntotal harness time: %.1f s\n" (Core.Monoclock.now () -. t0)
   end
   else if kernel_only then begin
     kernel_bench ();
-    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\ntotal harness time: %.1f s\n" (Core.Monoclock.now () -. t0)
   end
   else if eval_only then begin
     evaluator_bench ();
-    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\ntotal harness time: %.1f s\n" (Core.Monoclock.now () -. t0)
   end
   else begin
     Printf.printf
@@ -1163,5 +1266,5 @@ let () =
     if not quick then ablations ();
     if not quick then variation results;
     if not quick then kernels ();
-    Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\ntotal harness time: %.1f s\n" (Core.Monoclock.now () -. t0)
   end

@@ -5,6 +5,8 @@
      contango suite SPEC... [--timeout S] [--jobs N] [--baseline golden.json]
      contango eval bench.cts            (baseline greedy-CTS, for comparison)
      contango svg bench.cts -o tree.svg (initial tree only, slack-coloured)
+     contango serve --socket /tmp/c.sock [--max-queue N] [--workers N]
+     contango client --socket /tmp/c.sock run ti:200 [--timeout S]
 *)
 
 open Cmdliner
@@ -548,6 +550,150 @@ let svg_cmd =
        ~doc:"Render the initial buffered tree with slack colouring.")
     Term.(const run $ spec $ output)
 
+(* serve / client *)
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path. Exactly one of $(b,--socket) and \
+                 $(b,--port) must be given.")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port on 127.0.0.1 (0 picks an ephemeral port; the \
+                 server prints the one bound).")
+
+let sockaddr_of socket port =
+  match (socket, port) with
+  | Some path, None -> Unix.ADDR_UNIX path
+  | None, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+  | Some _, Some _ ->
+    Printf.eprintf "contango: --socket and --port are mutually exclusive\n";
+    exit 2
+  | None, None ->
+    Printf.eprintf "contango: one of --socket or --port is required\n";
+    exit 2
+
+let sockaddr_string = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (host, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+
+let serve_cmd =
+  let max_queue =
+    Arg.(value & opt int 16
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Bound on queued-plus-running requests; requests beyond it \
+                   are rejected with a busy/retry-after response instead of \
+                   being enqueued.")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains for request execution (0 = inline on \
+                   connection threads; default: one per spare core).")
+  in
+  let engine =
+    Arg.(value & opt (some engine_conv) None
+         & info [ "engine" ] ~doc:"Evaluation engine: spice (boxed reference), flat (streaming flat-arena kernel), arnoldi, elmore.")
+  in
+  let run socket port max_queue workers engine seg_len speculation regions
+      regional stitch_skew =
+    let config =
+      config_of ?speculation ?seg_len ?regions ~regional ?stitch_skew ~engine
+        ()
+    in
+    let server =
+      Serve.Server.create ~config ~max_queue ?workers (sockaddr_of socket port)
+    in
+    Printf.printf "contango serve: listening on %s (max-queue %d)\n%!"
+      (sockaddr_string (Serve.Server.sockaddr server))
+      max_queue;
+    Serve.Server.serve server;
+    print_endline "contango serve: shut down cleanly"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived daemon: concurrent synthesis/evaluation \
+             requests over a Unix/TCP socket, with cross-request cache \
+             reuse, bounded-queue backpressure and per-request deadlines.")
+    Term.(const run $ socket_arg $ port_arg $ max_queue $ workers $ engine
+          $ seg_len_arg $ speculate_arg $ regions_arg $ regional_arg
+          $ stitch_skew_arg)
+
+let client_cmd =
+  let op =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OP"
+             ~doc:"One of run, eval, sleep, stats, ping, shutdown.")
+  in
+  let arg =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"ARG"
+             ~doc:"Benchmark spec for run/eval (e.g. ti:200, grid:4, a .cts \
+                   file); seconds for sleep.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request budget, measured from admission (queue wait \
+                   counts). The server answers a structured deadline error \
+                   once it passes.")
+  in
+  let run socket port op arg timeout_s =
+    let addr = sockaddr_of socket port in
+    let needs_spec what =
+      match arg with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "contango: client %s needs a benchmark spec\n" what;
+        exit 2
+    in
+    let request =
+      match op with
+      | "run" -> Serve.Protocol.Run { spec = needs_spec "run"; timeout_s }
+      | "eval" -> Serve.Protocol.Eval { spec = needs_spec "eval"; timeout_s }
+      | "sleep" ->
+        let seconds =
+          match Option.bind arg float_of_string_opt with
+          | Some s -> s
+          | None ->
+            Printf.eprintf "contango: client sleep needs a seconds number\n";
+            exit 2
+        in
+        Serve.Protocol.Sleep { seconds; timeout_s }
+      | "stats" -> Serve.Protocol.Stats
+      | "ping" -> Serve.Protocol.Ping
+      | "shutdown" -> Serve.Protocol.Shutdown
+      | other ->
+        Printf.eprintf "contango: unknown client op %S\n" other;
+        exit 2
+    in
+    match Serve.Client.oneshot addr request with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "contango: cannot reach %s: %s\n" (sockaddr_string addr)
+        (Unix.error_message e);
+      exit 2
+    | Error msg ->
+      Printf.eprintf "contango: bad response: %s\n" msg;
+      exit 2
+    | Ok response ->
+      (* One compact JSON line — scripts grep or pipe it. Exit code says
+         which way it went: 0 ok, 75 (EX_TEMPFAIL) busy, 1 error. *)
+      print_endline
+        (Suite.Report.Json.to_compact_string
+           (Serve.Protocol.encode_response response));
+      (match response with
+      | Serve.Protocol.Completed _ -> ()
+      | Serve.Protocol.Busy _ -> exit 75
+      | Serve.Protocol.Failed _ -> exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running contango serve daemon and print \
+             the JSON response.")
+    Term.(const run $ socket_arg $ port_arg $ op $ arg $ timeout)
+
 let () =
   let info =
     Cmd.info "contango" ~version:"1.0.0"
@@ -555,4 +701,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ generate_cmd; run_cmd; suite_cmd; eval_cmd; svg_cmd; netlist_cmd;
-         mc_cmd; mesh_cmd ]))
+         mc_cmd; mesh_cmd; serve_cmd; client_cmd ]))

@@ -13,7 +13,18 @@ type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   mutable closing : bool;
+  failed : int Atomic.t;
 }
+
+(* Every queued job runs through this shield: an exception escaping a
+   job would otherwise kill the worker domain silently — permanently
+   shrinking the pool for the rest of the process — and resurface much
+   later out of [shutdown]'s [Domain.join]. [map_order] captures per-job
+   errors itself (and re-raises them at the call site); raw [submit]ted
+   jobs have no caller to report to, so their failures are only
+   counted. *)
+let run_protected pool job =
+  try job () with _ -> Atomic.incr pool.failed
 
 let worker_loop pool =
   let rec loop () =
@@ -25,7 +36,7 @@ let worker_loop pool =
     else begin
       let job = Queue.pop pool.queue in
       Mutex.unlock pool.lock;
-      job ();
+      run_protected pool job;
       loop ()
     end
   in
@@ -39,12 +50,39 @@ let create ?size () =
   in
   let pool =
     { domains = []; queue = Queue.create (); lock = Mutex.create ();
-      nonempty = Condition.create (); closing = false }
+      nonempty = Condition.create (); closing = false;
+      failed = Atomic.make 0 }
   in
   pool.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   pool
 
 let size pool = List.length pool.domains
+
+let failed_jobs pool = Atomic.get pool.failed
+
+(* Fire-and-forget: the job runs on a worker as soon as one is free (its
+   exceptions are swallowed and counted, see [run_protected]). On a
+   size-0 pool there is no worker to ever drain the queue, so the job
+   runs inline — the same degradation [map] makes — but serialized under
+   the pool lock: concurrent submitters are systhreads interleaving on
+   one domain, and jobs assume they own the domain's scratch (DLS
+   workspaces, stage builders) exactly as they would on a dedicated
+   worker domain. Running two inline jobs interleaved would corrupt that
+   scratch mid-solve. A job must therefore never [submit] back into the
+   pool that is running it inline. *)
+let submit pool job =
+  if size pool = 0 then begin
+    Mutex.lock pool.lock;
+    (* [run_protected] swallows every exception, so the unlock runs. *)
+    run_protected pool job;
+    Mutex.unlock pool.lock
+  end
+  else begin
+    Mutex.lock pool.lock;
+    Queue.add job pool.queue;
+    Condition.signal pool.nonempty;
+    Mutex.unlock pool.lock
+  end
 
 let shutdown pool =
   Mutex.lock pool.lock;
@@ -60,7 +98,7 @@ let help_one pool =
   match Queue.pop pool.queue with
   | job ->
     Mutex.unlock pool.lock;
-    job ();
+    run_protected pool job;
     true
   | exception Queue.Empty ->
     Mutex.unlock pool.lock;

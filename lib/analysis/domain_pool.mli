@@ -15,6 +15,24 @@ val create : ?size:int -> unit -> t
 (** Number of worker domains (excludes the calling domain). *)
 val size : t -> int
 
+(** [submit pool job] enqueues a fire-and-forget job. Workers run every
+    job behind an exception shield — a raising job can never take its
+    domain down (which would silently shrink the pool for the rest of
+    the process) — so a [submit]ted job's exception is swallowed and
+    counted in {!failed_jobs}; jobs that must report failures should
+    capture them in their own state (as {!map} does internally). On a
+    size-0 pool the job runs inline on the calling domain, serialized
+    against other inline submitters: concurrent [submit]s from
+    systhreads of one domain run one at a time, preserving the
+    domain-exclusive scratch (DLS workspaces) jobs rely on. A job must
+    not [submit] into the pool running it inline, or it deadlocks. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Jobs whose exception was caught by the worker shield since the pool
+    was created. [map]/[map_weighted] jobs capture and re-raise their
+    own errors, so they never count here. *)
+val failed_jobs : t -> int
+
 (** Join all workers. The pool must not be used afterwards. *)
 val shutdown : t -> unit
 

@@ -387,6 +387,8 @@ type cache_stats = {
   dirty_refreshes : int;
   entries : int;
   factored_entries : int;
+  store_hits : int;
+  store_misses : int;
 }
 
 (* A journaled edit, as reported by the tree journal: the revision the
@@ -394,6 +396,114 @@ type cache_stats = {
    a hint anchored at the revision the session last saw lets a refresh
    re-extract only the stages those nodes live in. *)
 type edit_hint = { base_revision : int; nodes : int list }
+
+module Store = struct
+  (* Cross-session stage-result sharing for a long-lived process: the
+     same content-derived (fingerprint, r_drv, s_drv) keys the per-slot
+     caches use, behind a lock-striped bounded table safe from any
+     domain. Result arrays are written once by the solving engine and
+     only read afterwards, so handing one array to several sessions is
+     race-free. Sessions sharing a store MUST be numerically identical
+     (same engine, transient step and mode) — the keys do not encode the
+     config, the owner of the store does (the serve daemon keys stores
+     per config family, and Flow skips the store on degraded retries). *)
+  type key = Int64.t * float * float
+
+  type stripe = {
+    lock : Mutex.t;
+    tbl : (key, (float * float) array) Hashtbl.t;
+  }
+
+  type t = {
+    stripes : stripe array;
+    stripe_cap : int;
+    evictions : int Atomic.t;
+    fstore : Transient.Fstore.t;
+  }
+
+  (* Per-request view: the shared store plus this request's own hit/miss
+     counters (atomic — the parallel corner × transition slots of one
+     session bump them from several domains). *)
+  type handle = {
+    store : t;
+    h_hits : int Atomic.t;
+    h_misses : int Atomic.t;
+  }
+
+  let create ?(stripes = 16) ?(cap = 262_144) () =
+    let nstripes = max 1 stripes in
+    { stripes =
+        Array.init nstripes (fun _ ->
+            { lock = Mutex.create (); tbl = Hashtbl.create 1024 });
+      stripe_cap = max 16 (cap / nstripes);
+      evictions = Atomic.make 0;
+      fstore = Transient.Fstore.create () }
+
+  let stripe_of t ((fp, _, _) : key) =
+    t.stripes.((Int64.to_int fp land max_int) mod Array.length t.stripes)
+
+  let handle t = { store = t; h_hits = Atomic.make 0; h_misses = Atomic.make 0 }
+  let of_handle h = h.store
+  let fstore t = t.fstore
+
+  let find h key =
+    let s = stripe_of h.store key in
+    Mutex.lock s.lock;
+    let r = Hashtbl.find_opt s.tbl key in
+    Mutex.unlock s.lock;
+    (match r with
+    | Some _ -> Atomic.incr h.h_hits
+    | None -> Atomic.incr h.h_misses);
+    r
+
+  let add h key v =
+    let t = h.store in
+    let s = stripe_of t key in
+    Mutex.lock s.lock;
+    if not (Hashtbl.mem s.tbl key) then begin
+      if Hashtbl.length s.tbl >= t.stripe_cap then begin
+        (* Random-subset eviction: drop a quarter of the stripe in hash
+           order — effectively random keys, never the one being added. *)
+        let drop = max 1 (t.stripe_cap / 4) in
+        let doomed = ref [] and k = ref 0 in
+        (try
+           Hashtbl.iter
+             (fun key _ ->
+               if !k >= drop then raise Exit;
+               doomed := key :: !doomed;
+               incr k)
+             s.tbl
+         with Exit -> ());
+        List.iter (Hashtbl.remove s.tbl) !doomed;
+        ignore (Atomic.fetch_and_add t.evictions !k)
+      end;
+      Hashtbl.add s.tbl key v
+    end;
+    Mutex.unlock s.lock
+
+  let hits h = Atomic.get h.h_hits
+  let misses h = Atomic.get h.h_misses
+
+  let length t =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.lock;
+        let n = Hashtbl.length s.tbl in
+        Mutex.unlock s.lock;
+        acc + n)
+      0 t.stripes
+
+  let evictions t = Atomic.get t.evictions
+
+  let clear t =
+    Array.iter
+      (fun s ->
+        Mutex.lock s.lock;
+        Hashtbl.reset s.tbl;
+        Mutex.unlock s.lock)
+      t.stripes;
+    Transient.Fstore.clear t.fstore
+end
 
 module Incremental = struct
   (* One (corner × source transition) evaluation pass owns its own cache
@@ -424,6 +534,9 @@ module Incremental = struct
     parallel : bool;
     tstep : float option;
     tmode : Transient.mode option;
+    (* Shared cross-session store this session reads through (and
+       publishes to), or [None] for a self-contained session. *)
+    store : Store.handle option;
     mutable tree : Tree.t;
     slots : slot array;
     (* Flat-engine state: the arena snapshot and the stage pool the
@@ -469,11 +582,16 @@ module Incremental = struct
   let cache_cap = 200_000
 
   let create ?(engine = Spice) ?(flat = false) ?seg_len ?(parallel = true)
-      ?transient_step ?transient_mode tree =
+      ?transient_step ?transient_mode ?store tree =
     (* The flat pool streams the backward-Euler kernel; the model engines
        never touch it, so the knob quietly means "boxed" for them. *)
     let flat = flat && engine = Spice in
     let corners = (Tree.tech tree).Tech.corners in
+    (* Per-slot factorisation caches read through the store's shared
+       factorisation table, so a repeat request re-solves its stages
+       without re-factoring them even when the result store has turned
+       the entries over. *)
+    let fstore = Option.map (fun h -> Store.fstore (Store.of_handle h)) store in
     let slots =
       Array.of_list
         (List.concat_map
@@ -482,14 +600,14 @@ module Incremental = struct
                (fun tr ->
                  { s_corner = corner; s_transition = tr;
                    cache = Hashtbl.create 1024;
-                   s_fcache = Transient.Fcache.create ();
+                   s_fcache = Transient.Fcache.create ?store:fstore ();
                    s_ffcache = Transient.Flat.Fcache.create ();
                    s_ws = Transient.workspace (); hits = 0; misses = 0 })
                [ Rise; Fall ])
            corners)
     in
     { engine; flat; seg_len; parallel; tstep = transient_step;
-      tmode = transient_mode; tree; slots; f_arena = None; f_pool = None;
+      tmode = transient_mode; store; tree; slots; f_arena = None; f_pool = None;
       f_scratch = Transient.workspace (); f_ws = [||];
       probe_fcache = Transient.Fcache.create ();
       probe_ws = Transient.workspace (); last = None; last_revision = -1;
@@ -508,16 +626,27 @@ module Incremental = struct
       | None ->
         slot.misses <- slot.misses + 1;
         let r =
-          match session.engine with
-          | Spice ->
-            Transient.solve ?step:session.tstep ?mode:session.tmode
-              ~fcache:slot.s_fcache ~fp:fps.(si) ~ws:slot.s_ws rc ~r_drv
-              ~s_drv
-          | Arnoldi ->
-            (* Newton-polished crossings: same roots as [Moments.solve]
-               to ~1e-12 ps at a fraction of the cost (see moments.mli). *)
-            Moments.solve_fast rc ~r_drv ~s_drv
-          | Elmore_model -> solve_stage session.engine rc ~r_drv ~s_drv
+          (* Local miss: another request may already have solved this
+             exact stage — consult the shared store before the engine. *)
+          match Option.bind session.store (fun h -> Store.find h key) with
+          | Some r -> r
+          | None ->
+            let r =
+              match session.engine with
+              | Spice ->
+                Transient.solve ?step:session.tstep ?mode:session.tmode
+                  ~fcache:slot.s_fcache ~fp:fps.(si) ~ws:slot.s_ws rc ~r_drv
+                  ~s_drv
+              | Arnoldi ->
+                (* Newton-polished crossings: same roots as [Moments.solve]
+                   to ~1e-12 ps at a fraction of the cost (see moments.mli). *)
+                Moments.solve_fast rc ~r_drv ~s_drv
+              | Elmore_model -> solve_stage session.engine rc ~r_drv ~s_drv
+            in
+            (match session.store with
+            | Some h -> Store.add h key r
+            | None -> ());
+            r
         in
         if Hashtbl.length slot.cache >= cache_cap then Hashtbl.reset slot.cache;
         Hashtbl.add slot.cache key r;
@@ -535,8 +664,17 @@ module Incremental = struct
       | None ->
         slot.misses <- slot.misses + 1;
         let r =
-          Transient.Flat.solve ?step:session.tstep ?mode:session.tmode
-            ~fcache:slot.s_ffcache ~ws:slot.s_ws pool ~si ~r_drv ~s_drv
+          match Option.bind session.store (fun h -> Store.find h key) with
+          | Some r -> r
+          | None ->
+            let r =
+              Transient.Flat.solve ?step:session.tstep ?mode:session.tmode
+                ~fcache:slot.s_ffcache ~ws:slot.s_ws pool ~si ~r_drv ~s_drv
+            in
+            (match session.store with
+            | Some h -> Store.add h key r
+            | None -> ());
+            r
         in
         if Hashtbl.length slot.cache >= cache_cap then Hashtbl.reset slot.cache;
         Hashtbl.add slot.cache key r;
@@ -619,18 +757,31 @@ module Incremental = struct
                 cell
               | None ->
                 slot.misses <- slot.misses + 1;
-                let cell = ref None in
-                Hashtbl.add local key cell;
-                let prepped =
-                  Transient.Flat.prep ?step:session.tstep ?mode:session.tmode
-                    ~fcache:slot.s_ffcache ~scratch:session.f_scratch pool
-                    ~si ~r_drv
-                in
-                jobs :=
-                  { j_slot = k; j_si = si; j_r = r_drv; j_s = s_drv;
-                    j_prepped = prepped; j_out = cell }
-                  :: !jobs;
-                cell)
+                (match
+                   Option.bind session.store (fun h -> Store.find h key)
+                 with
+                | Some r ->
+                  (* Shared-store hit: commit it locally right away so
+                     later levels hit the slot cache like any other. *)
+                  let cell = ref (Some r) in
+                  Hashtbl.add local key cell;
+                  if Hashtbl.length slot.cache >= cache_cap then
+                    Hashtbl.reset slot.cache;
+                  Hashtbl.add slot.cache key r;
+                  cell
+                | None ->
+                  let cell = ref None in
+                  Hashtbl.add local key cell;
+                  let prepped =
+                    Transient.Flat.prep ?step:session.tstep
+                      ?mode:session.tmode ~fcache:slot.s_ffcache
+                      ~scratch:session.f_scratch pool ~si ~r_drv
+                  in
+                  jobs :=
+                    { j_slot = k; j_si = si; j_r = r_drv; j_s = s_drv;
+                      j_prepped = prepped; j_out = cell }
+                    :: !jobs;
+                  cell))
           in
           res.(si - lo) <- out;
           trs.(si - lo) <- tr;
@@ -670,9 +821,13 @@ module Incremental = struct
           (fun j ->
             let slot = session.slots.(j.j_slot) in
             let key = (pool.Rcflat.fp.(j.j_si), j.j_r, j.j_s) in
+            let r = Option.get !(j.j_out) in
+            (match session.store with
+            | Some h -> Store.add h key r
+            | None -> ());
             if Hashtbl.length slot.cache >= cache_cap then
               Hashtbl.reset slot.cache;
-            Hashtbl.add slot.cache key (Option.get !(j.j_out)))
+            Hashtbl.add slot.cache key r)
           arr);
       for k = 0 to nslots - 1 do
         let slot = session.slots.(k) in
@@ -912,9 +1067,15 @@ module Incremental = struct
             + Transient.Flat.Fcache.length s.s_ffcache)
           0 session.slots
     in
+    let store_hits, store_misses =
+      match session.store with
+      | Some h -> (Store.hits h, Store.misses h)
+      | None -> (0, 0)
+    in
     { hits; misses; refreshes = session.refreshes;
       fast_refreshes = session.fast_refreshes;
-      dirty_refreshes = session.dirty_refreshes; entries; factored_entries }
+      dirty_refreshes = session.dirty_refreshes; entries; factored_entries;
+      store_hits; store_misses }
 
   let invalidate session =
     Array.iter

@@ -81,6 +81,50 @@ val reset_eval_count : unit -> unit
 
 val pp_summary : Format.formatter -> t -> unit
 
+(** Cross-session stage-result store for long-lived processes (the serve
+    daemon): a lock-striped bounded table of solved stage results under
+    the same content-derived [(fingerprint, r_drv, s_drv)] keys the
+    per-slot caches use, plus a shared {!Transient.Fstore} of
+    backward-Euler factorisations. Result arrays are written once and
+    only read afterwards, so sharing them across domains is race-free.
+
+    {b Caveat}: the keys do not encode the evaluation config — every
+    session attached to one store must be numerically identical (same
+    engine, transient step and mode, flatness). Owners enforce this by
+    keying stores per config family; [Flow] additionally skips the store
+    on degraded retries, whose relaxed kernel settings would otherwise
+    poison the shared entries. *)
+module Store : sig
+  type t
+
+  (** [create ?stripes ?cap ()] — [cap] (default 262144) stage results
+      spread over [stripes] (default 16) independently locked stripes;
+      full stripes evict a random quarter rather than resetting. *)
+  val create : ?stripes:int -> ?cap:int -> unit -> t
+
+  (** A per-request view of a store: the same shared tables, plus this
+      request's own atomic hit/miss counters — so concurrent requests
+      each report their own cross-request reuse. *)
+  type handle
+
+  val handle : t -> handle
+
+  (** Store lookups this handle answered from the shared table /
+      had to compute. *)
+  val hits : handle -> int
+
+  val misses : handle -> int
+
+  (** Live stage results across all stripes (takes each stripe lock). *)
+  val length : t -> int
+
+  (** Entries evicted since creation. *)
+  val evictions : t -> int
+
+  (** Drop all shared state, including the factorisation store. *)
+  val clear : t -> unit
+end
+
 type cache_stats = {
   hits : int;            (** stage solves answered from cache *)
   misses : int;          (** stage solves that ran an engine *)
@@ -91,6 +135,9 @@ type cache_stats = {
   entries : int;         (** live cached stage results across all slots *)
   factored_entries : int;
       (** live backward-Euler factorisations across all per-slot caches *)
+  store_hits : int;
+      (** local misses answered by the shared {!Store} (0 when detached) *)
+  store_misses : int;    (** local misses the shared store missed too *)
 }
 
 (** A journaled edit: the tree revision it started from and the node ids
@@ -131,11 +178,17 @@ module Incremental : sig
       refresh batches each stage-DAG level's cache misses into
       contiguous index-range chunks across the domain pool instead of
       spawning a closure per stage. Results agree with the boxed
-      session's to sub-femtosecond (~1e-6 ps at 100K-node stages). *)
+      session's to sub-femtosecond (~1e-6 ps at 100K-node stages).
+
+      [store] attaches a shared {!Store} handle: slot-cache misses
+      consult the shared table before running an engine, computed
+      results are published back, and the per-slot factorisation caches
+      read through the store's shared {!Transient.Fstore}. See the
+      {!Store} caveat on numerically-identical configs. *)
   val create :
     ?engine:engine -> ?flat:bool -> ?seg_len:int -> ?parallel:bool ->
     ?transient_step:float -> ?transient_mode:Transient.mode ->
-    Ctree.Tree.t -> session
+    ?store:Store.handle -> Ctree.Tree.t -> session
 
   (** Re-evaluate the session's tree, reusing every cached stage that
       still matches. [?tree] rebinds the session to a replacement tree

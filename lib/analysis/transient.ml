@@ -163,29 +163,164 @@ let grow ws ~n ~w =
 (* Factorisation cache                                                 *)
 (* ------------------------------------------------------------------ *)
 
-module Fcache = struct
-  type nonrec t = {
+(* Second-chance ("clock") eviction shared by the bounded factorisation
+   caches. The old behaviour at capacity was [Hashtbl.reset] — harmless
+   in a one-shot flow whose working set never reaches the cap, but in a
+   long-lived server it dumps every warm factorisation at once and then
+   thrashes at the cap boundary. Instead, entries carry a [used] bit set
+   on every hit; insertion at capacity rotates a FIFO ring, giving used
+   entries a second chance (clearing the bit) and evicting the first
+   cold one. The entry being inserted is never a candidate — it joins
+   the ring only after room has been made. *)
+type 'v centry = { cv : 'v; mutable used : bool }
+
+let clock_find tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some e ->
+    e.used <- true;
+    Some e.cv
+  | None -> None
+
+let clock_insert tbl ring ~cap key v =
+  if Hashtbl.length tbl >= cap then begin
+    (* Terminates: a full rotation clears every [used] flag it sees, so
+       within 2·|ring| pops a cold entry is found. *)
+    let budget = ref (2 * Queue.length ring) in
+    let evicted = ref false in
+    while (not !evicted) && !budget > 0 do
+      decr budget;
+      match Queue.pop ring with
+      | exception Queue.Empty -> evicted := true
+      | k -> (
+        match Hashtbl.find_opt tbl k with
+        | Some e when e.used ->
+          e.used <- false;
+          Queue.add k ring
+        | Some _ ->
+          Hashtbl.remove tbl k;
+          evicted := true
+        | None -> ())
+    done
+  end;
+  Hashtbl.add tbl key { cv = v; used = false };
+  Queue.add key ring
+
+(* Process-wide factorisation store shared across independent caches
+   (and, in the serve daemon, across requests): a lock-striped bounded
+   table safe to touch from any domain. [factored] values are immutable
+   after {!factor} returns, so sharing them across domains is free of
+   data races; only the stripe tables need the locks. *)
+module Fstore = struct
+  type stripe = {
+    lock : Mutex.t;
     tbl : (int64 * float, factored) Hashtbl.t;
-    cap : int;
   }
 
-  let create ?(cap = 4096) () = { tbl = Hashtbl.create 64; cap }
+  type t = {
+    stripes : stripe array;
+    stripe_cap : int;
+    evictions : int Atomic.t;
+  }
+
+  let create ?(stripes = 16) ?(cap = 16384) () =
+    let nstripes = Int.max 1 stripes in
+    {
+      stripes =
+        Array.init nstripes (fun _ ->
+            { lock = Mutex.create (); tbl = Hashtbl.create 64 });
+      stripe_cap = Int.max 1 (cap / nstripes);
+      evictions = Atomic.make 0;
+    }
+
+  let stripe t ((fp, _) : int64 * float) =
+    t.stripes.((Int64.to_int fp land max_int) mod Array.length t.stripes)
+
+  let find t key =
+    let s = stripe t key in
+    Mutex.lock s.lock;
+    let r = Hashtbl.find_opt s.tbl key in
+    Mutex.unlock s.lock;
+    r
+
+  let add t key f =
+    let s = stripe t key in
+    Mutex.lock s.lock;
+    if not (Hashtbl.mem s.tbl key) then begin
+      if Hashtbl.length s.tbl >= t.stripe_cap then begin
+        (* Random-subset eviction: drop a quarter of the stripe in hash
+           order — bounded, incremental, and never the entry about to be
+           inserted. *)
+        let drop = Int.max 1 (t.stripe_cap / 4) in
+        let doomed = ref [] and n = ref 0 in
+        (try
+           Hashtbl.iter
+             (fun k _ ->
+               if !n >= drop then raise Exit;
+               doomed := k :: !doomed;
+               incr n)
+             s.tbl
+         with Exit -> ());
+        List.iter (Hashtbl.remove s.tbl) !doomed;
+        ignore (Atomic.fetch_and_add t.evictions !n)
+      end;
+      Hashtbl.add s.tbl key f
+    end;
+    Mutex.unlock s.lock
+
+  let length t =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.lock;
+        let n = Hashtbl.length s.tbl in
+        Mutex.unlock s.lock;
+        acc + n)
+      0 t.stripes
+
+  let evictions t = Atomic.get t.evictions
+
+  let clear t =
+    Array.iter
+      (fun s ->
+        Mutex.lock s.lock;
+        Hashtbl.reset s.tbl;
+        Mutex.unlock s.lock)
+      t.stripes
+end
+
+module Fcache = struct
+  type nonrec t = {
+    tbl : (int64 * float, factored centry) Hashtbl.t;
+    ring : (int64 * float) Queue.t;
+    cap : int;
+    store : Fstore.t option;
+  }
+
+  let create ?(cap = 4096) ?store () =
+    { tbl = Hashtbl.create 64; ring = Queue.create (); cap; store }
 
   let get c ?fp rc ~step =
     let fp = match fp with Some f -> f | None -> Rcnet.fingerprint rc in
     let key = (fp, step) in
-    match Hashtbl.find_opt c.tbl key with
+    match clock_find c.tbl key with
     | Some f -> f
-    | None ->
-      (* Reset-on-overflow: generous enough that a full Flow run never
-         trips it, bounded on pathological inputs. *)
-      if Hashtbl.length c.tbl >= c.cap then Hashtbl.reset c.tbl;
-      let f = factor ~step rc in
-      Hashtbl.add c.tbl key f;
-      f
+    | None -> (
+      (* A cached factor is bit-identical to a recomputed one, so the
+         shared store changes wall-clock only, never numerics. *)
+      match Option.bind c.store (fun s -> Fstore.find s key) with
+      | Some f ->
+        clock_insert c.tbl c.ring ~cap:c.cap key f;
+        f
+      | None ->
+        let f = factor ~step rc in
+        clock_insert c.tbl c.ring ~cap:c.cap key f;
+        Option.iter (fun s -> Fstore.add s key f) c.store;
+        f)
 
   let length c = Hashtbl.length c.tbl
-  let clear c = Hashtbl.reset c.tbl
+
+  let clear c =
+    Hashtbl.reset c.tbl;
+    Queue.clear c.ring
 end
 
 (* Steps composed arithmetically (mult *. step /. mult, corner scaling…)
@@ -711,24 +846,28 @@ module Flat = struct
 
   module Fcache = struct
     type t = {
-      tbl : (int64 * float, ffactored) Hashtbl.t;
+      tbl : (int64 * float, ffactored centry) Hashtbl.t;
+      ring : (int64 * float) Queue.t;
       cap : int;
     }
 
-    let create ?(cap = 4096) () = { tbl = Hashtbl.create 64; cap }
+    let create ?(cap = 4096) () =
+      { tbl = Hashtbl.create 64; ring = Queue.create (); cap }
 
     let get c (p : Rcflat.t) ~si ~step =
       let key = (p.Rcflat.fp.(si), step) in
-      match Hashtbl.find_opt c.tbl key with
+      match clock_find c.tbl key with
       | Some f -> f
       | None ->
-        if Hashtbl.length c.tbl >= c.cap then Hashtbl.reset c.tbl;
         let f = factor p ~si ~step in
-        Hashtbl.add c.tbl key f;
+        clock_insert c.tbl c.ring ~cap:c.cap key f;
         f
 
     let length c = Hashtbl.length c.tbl
-    let clear c = Hashtbl.reset c.tbl
+
+    let clear c =
+      Hashtbl.reset c.tbl;
+      Queue.clear c.ring
   end
 
   (* Same arithmetic as the boxed [stage_tau] on bit-identical inputs, so

@@ -30,6 +30,7 @@ type t = {
   stitch_skew_ps : float;
   inject_numerical_failures : int;
   debug : bool;
+  store : Analysis.Evaluator.Store.handle option;
   evaluator : Speculate.hooks option;
   spec : Speculate.t option;
 }
@@ -72,6 +73,7 @@ let default =
     stitch_skew_ps = 1.0;
     inject_numerical_failures = 0;
     debug = debug_env;
+    store = None;
     evaluator = None;
     spec = None;
   }

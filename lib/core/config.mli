@@ -119,6 +119,15 @@ type t = {
       (** per-IVC-decision logging on stderr. Defaults to whether
           [CONTANGO_DEBUG] was set at startup; the suite runner can flip
           it per instance without re-exec *)
+  store : Analysis.Evaluator.Store.handle option;
+      (** shared cross-request stage-result store for the main
+          incremental session (see {!Analysis.Evaluator.Store}); set by
+          long-lived callers (the serve daemon) so repeated instances
+          reuse solved stages and factorisations. {!Flow} attaches it
+          only to the primary session at degraded level 0 — degraded
+          retries change the kernel's numerics, and replica sessions
+          (speculation lanes, regional stitching) keep their own caches.
+          [None] (the default) shares nothing *)
   evaluator : Speculate.hooks option;
       (** evaluation hooks used by {!Ivc.evaluate}; [None] falls back to
           [Evaluator.evaluate ~engine ~seg_len]. Set by {!Flow} to the

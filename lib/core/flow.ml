@@ -464,13 +464,17 @@ let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
      rebuild costs misses, never correctness. *)
   let rebuild ~degraded =
     let c = degraded_config degraded in
+    (* The shared cross-request store is only safe while the kernel
+       settings match what its keys were computed under: degraded
+       retries relax mode and step, so they run self-contained. *)
+    let store = if degraded = 0 then c.Config.store else None in
     session :=
       (if c.Config.incremental then
          Some
            (Evaluator.Incremental.create ~engine:c.Config.engine
               ~flat:c.Config.flat ~seg_len:c.Config.seg_len
               ~transient_step:c.Config.transient_step
-              ~transient_mode:c.Config.transient_mode !tree)
+              ~transient_mode:c.Config.transient_mode ?store !tree)
        else None);
     let hooks =
       match !session with

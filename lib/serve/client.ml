@@ -1,0 +1,44 @@
+(* Minimal scripted client for the serve protocol: one connection, one
+   request/response exchange per call. Used by the [contango client]
+   subcommand, the serve tests and the CONTANGO_BENCH_SERVE harness. *)
+
+let connect sockaddr =
+  let fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sockaddr)
+      Unix.SOCK_STREAM 0
+  in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let request fd req =
+  Protocol.write_frame fd (Protocol.encode_request req);
+  match Protocol.read_frame fd with
+  | None -> Error "connection closed before the response arrived"
+  | Some json -> Protocol.decode_response json
+
+let with_connection sockaddr f =
+  let fd = connect sockaddr in
+  Fun.protect ~finally:(fun () -> close fd) (fun () -> f fd)
+
+let oneshot sockaddr req = with_connection sockaddr (fun fd -> request fd req)
+
+(* Retry [connect] until the daemon's socket accepts — for scripts that
+   just forked the server. *)
+let wait_ready ?(timeout_s = 10.) sockaddr =
+  let give_up = Core.Monoclock.now () +. timeout_s in
+  let rec go () =
+    match with_connection sockaddr (fun fd -> request fd Protocol.Ping) with
+    | Ok _ -> true
+    | Error _ | (exception Unix.Unix_error _) ->
+      if Core.Monoclock.now () > give_up then false
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()

@@ -1,0 +1,27 @@
+(** Scripted client for the serve protocol — the [contango client]
+    subcommand, the serve tests and the CONTANGO_BENCH_SERVE harness all
+    go through these calls. *)
+
+(** Connect a stream socket to the daemon.
+    @raise Unix.Unix_error when the daemon is not listening. *)
+val connect : Unix.sockaddr -> Unix.file_descr
+
+val close : Unix.file_descr -> unit
+
+(** One request/response exchange on an open connection. [Error] carries
+    a decode problem or an early close; framing problems raise
+    {!Protocol.Framing_error}. *)
+val request :
+  Unix.file_descr -> Protocol.request -> (Protocol.response, string) result
+
+(** [with_connection addr f] — connect, run [f], always close. *)
+val with_connection : Unix.sockaddr -> (Unix.file_descr -> 'a) -> 'a
+
+(** Connect, send one request, close. *)
+val oneshot :
+  Unix.sockaddr -> Protocol.request -> (Protocol.response, string) result
+
+(** Poll [Ping] until the daemon answers; [false] once [timeout_s]
+    (default 10) elapses first. For scripts that just forked the
+    server. *)
+val wait_ready : ?timeout_s:float -> Unix.sockaddr -> bool

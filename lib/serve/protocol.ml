@@ -1,0 +1,161 @@
+(* Wire protocol of the serve daemon: length-prefixed JSON frames over a
+   stream socket. A frame is a 4-byte big-endian payload length followed
+   by that many bytes of compact JSON ({!Suite.Report.Json}); both
+   directions use the same framing, one request frame begets exactly one
+   response frame, and a connection carries any number of request/response
+   pairs sequentially. *)
+
+module Json = Suite.Report.Json
+
+exception Framing_error of string
+
+(* Generous for any realistic response (a stats or run summary is a few
+   hundred bytes) while bounding what a broken or hostile peer can make
+   the daemon allocate. *)
+let max_frame = 16 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let really_write fd buf =
+  let n = Bytes.length buf in
+  let rec go off =
+    if off < n then
+      let w = Unix.write fd buf off (n - off) in
+      go (off + w)
+  in
+  go 0
+
+(* [None] on clean EOF at a frame boundary; raises {!Framing_error} on a
+   torn frame or one beyond {!max_frame}. *)
+let really_read fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Some buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 then None else raise (Framing_error "truncated frame")
+      | r -> go (off + r)
+  in
+  go 0
+
+let write_frame fd json =
+  let payload = Bytes.of_string (Json.to_compact_string json) in
+  let n = Bytes.length payload in
+  if n > max_frame then raise (Framing_error "frame too large");
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int n);
+  really_write fd hdr;
+  really_write fd payload
+
+let read_frame fd =
+  match really_read fd 4 with
+  | None -> None
+  | Some hdr ->
+    let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if n < 0 || n > max_frame then
+      raise (Framing_error (Printf.sprintf "bad frame length %d" n));
+    (match really_read fd n with
+    | None -> raise (Framing_error "truncated frame")
+    | Some payload -> (
+      match Json.of_string (Bytes.to_string payload) with
+      | Ok json -> Some json
+      | Error e -> raise (Framing_error ("bad frame payload: " ^ e))))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Run of { spec : string; timeout_s : float option }
+  | Eval of { spec : string; timeout_s : float option }
+  | Sleep of { seconds : float; timeout_s : float option }
+  | Stats
+  | Ping
+  | Shutdown
+
+let timeout_field = function
+  | None -> []
+  | Some s -> [ ("timeout_s", Json.Num s) ]
+
+let encode_request = function
+  | Run { spec; timeout_s } ->
+    Json.Obj
+      ([ ("op", Json.Str "run"); ("spec", Json.Str spec) ]
+      @ timeout_field timeout_s)
+  | Eval { spec; timeout_s } ->
+    Json.Obj
+      ([ ("op", Json.Str "eval"); ("spec", Json.Str spec) ]
+      @ timeout_field timeout_s)
+  | Sleep { seconds; timeout_s } ->
+    Json.Obj
+      ([ ("op", Json.Str "sleep"); ("seconds", Json.Num seconds) ]
+      @ timeout_field timeout_s)
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+
+let decode_request json =
+  let timeout_s = Json.to_float (Json.member "timeout_s" json) in
+  match Json.to_str (Json.member "op" json) with
+  | Some "run" -> (
+    match Json.to_str (Json.member "spec" json) with
+    | Some spec -> Ok (Run { spec; timeout_s })
+    | None -> Error "run request needs a \"spec\" string")
+  | Some "eval" -> (
+    match Json.to_str (Json.member "spec" json) with
+    | Some spec -> Ok (Eval { spec; timeout_s })
+    | None -> Error "eval request needs a \"spec\" string")
+  | Some "sleep" -> (
+    match Json.to_float (Json.member "seconds" json) with
+    | Some seconds -> Ok (Sleep { seconds; timeout_s })
+    | None -> Error "sleep request needs a \"seconds\" number")
+  | Some "stats" -> Ok Stats
+  | Some "ping" -> Ok Ping
+  | Some "shutdown" -> Ok Shutdown
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+  | None -> Error "request needs an \"op\" string"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type response =
+  | Completed of { op : string; body : Json.t }
+  | Busy of { retry_after_s : float }
+  | Failed of { code : string; detail : string }
+
+let encode_response = function
+  | Completed { op; body } ->
+    Json.Obj
+      [ ("status", Json.Str "ok"); ("op", Json.Str op); ("body", body) ]
+  | Busy { retry_after_s } ->
+    Json.Obj
+      [ ("status", Json.Str "busy"); ("retry_after_s", Json.Num retry_after_s) ]
+  | Failed { code; detail } ->
+    Json.Obj
+      [ ("status", Json.Str "error"); ("code", Json.Str code);
+        ("detail", Json.Str detail) ]
+
+let decode_response json =
+  match Json.to_str (Json.member "status" json) with
+  | Some "ok" -> (
+    match Json.member "op" json |> Json.to_str with
+    | Some op ->
+      let body =
+        Option.value (Json.member "body" json) ~default:Json.Null
+      in
+      Ok (Completed { op; body })
+    | None -> Error "ok response needs an \"op\" string")
+  | Some "busy" -> (
+    match Json.to_float (Json.member "retry_after_s" json) with
+    | Some retry_after_s -> Ok (Busy { retry_after_s })
+    | None -> Error "busy response needs a \"retry_after_s\" number")
+  | Some "error" -> (
+    match (Json.to_str (Json.member "code" json),
+           Json.to_str (Json.member "detail" json)) with
+    | Some code, Some detail -> Ok (Failed { code; detail })
+    | _ -> Error "error response needs \"code\" and \"detail\" strings")
+  | Some s -> Error (Printf.sprintf "unknown status %S" s)
+  | None -> Error "response needs a \"status\" string"

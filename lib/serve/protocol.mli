@@ -1,0 +1,55 @@
+(** Wire protocol of the [contango serve] daemon.
+
+    Frames: a 4-byte big-endian payload length followed by that many
+    bytes of compact JSON ({!Suite.Report.Json}). Both directions use
+    the same framing; one request frame begets exactly one response
+    frame, and a connection carries any number of request/response pairs
+    sequentially. See doc/EXTENDING.md ("The serve protocol") for the
+    field-level schema. *)
+
+module Json = Suite.Report.Json
+
+(** Torn, oversized or unparseable frame. A clean EOF between frames is
+    never an error — {!read_frame} returns [None] for it. *)
+exception Framing_error of string
+
+(** Frame payload cap, bytes (16 MiB). *)
+val max_frame : int
+
+val write_frame : Unix.file_descr -> Json.t -> unit
+
+(** [None] on clean EOF at a frame boundary.
+    @raise Framing_error on torn/oversized/unparseable frames. *)
+val read_frame : Unix.file_descr -> Json.t option
+
+type request =
+  | Run of { spec : string; timeout_s : float option }
+      (** full-flow synthesis of a benchmark spec (anything
+          {!Suite.Runner.load_bench} accepts); [timeout_s] is a
+          per-request budget measured from the moment the request is
+          accepted — queue wait counts against it *)
+  | Eval of { spec : string; timeout_s : float option }
+      (** greedy-CTS baseline construction + evaluation of a spec *)
+  | Sleep of { seconds : float; timeout_s : float option }
+      (** diagnostic: occupy one worker slot for [seconds] — gives tests
+          and drills a deterministic way to fill the queue *)
+  | Stats   (** daemon telemetry; answered inline, never queued *)
+  | Ping    (** liveness probe; answered inline *)
+  | Shutdown  (** stop accepting, drain in-flight work, exit *)
+
+type response =
+  | Completed of { op : string; body : Json.t }
+      (** the op-specific payload — e.g. a [run] body carries
+          [result.{skew_ps,clr_ps,t_max_ps,buffers,eval_runs,seconds}]
+          and [cache.{local_hits,local_misses,store_hits,store_misses}] *)
+  | Busy of { retry_after_s : float }
+      (** bounded queue full — retry after the hinted delay *)
+  | Failed of { code : string; detail : string }
+      (** [code] is ["deadline"] (budget exceeded, before or during
+          execution), ["bad_request"] (unloadable spec / malformed
+          request) or ["crashed"] *)
+
+val encode_request : request -> Json.t
+val decode_request : Json.t -> (request, string) result
+val encode_response : response -> Json.t
+val decode_response : Json.t -> (response, string) result

@@ -1,0 +1,205 @@
+(* The daemon: accept loop + one systhread per connection + a dedicated
+   domain pool for compute.
+
+   Threads do the blocking I/O (systhreads share one domain, so they
+   cost nothing while parked in [read]/[accept]); every Run/Eval/Sleep
+   request is handed to the domain pool through {!Analysis.Domain_pool}
+   [submit] and the connection thread parks on a condition variable
+   until its result cell fills. Admission is a plain atomic counter
+   against [max_queue]: a request over the bound is answered [Busy] with
+   a retry hint and never enqueued, so the queue — and the daemon's
+   memory — stays bounded no matter how many clients pile on. *)
+
+module Dp = Analysis.Domain_pool
+
+type t = {
+  session : Session.t;
+  pool : Dp.t;
+  workers : int;
+  max_queue : int;
+  inflight : int Atomic.t;
+  listen_fd : Unix.file_descr;
+  sockaddr : Unix.sockaddr;
+  (* Self-pipe: [shutdown] writes one byte so the [select] parked before
+     [accept] wakes even with no client connecting. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  (* Connection threads still running, joined at drain time. *)
+  conns : int Atomic.t;
+}
+
+let sockaddr t = t.sockaddr
+let session t = t.session
+
+let unlink_if_unix = function
+  | Unix.ADDR_UNIX path when path <> "" -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ()
+
+let create ?config ?(max_queue = 16) ?workers sockaddr =
+  let listen_fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sockaddr)
+      Unix.SOCK_STREAM 0
+  in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  unlink_if_unix sockaddr;
+  Unix.bind listen_fd sockaddr;
+  Unix.listen listen_fd 64;
+  let pool = Dp.create ?size:workers () in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  {
+    session = Session.create ?config ();
+    pool;
+    workers = Dp.size pool;
+    max_queue = max 1 max_queue;
+    inflight = Atomic.make 0;
+    listen_fd;
+    (* The address actually bound — port 0 requests resolve here, so
+       tests can listen on an ephemeral port. *)
+    sockaddr = Unix.getsockname listen_fd;
+    wake_r;
+    wake_w;
+    stopping = Atomic.make false;
+    conns = Atomic.make 0;
+  }
+
+let shutdown t =
+  if not (Atomic.exchange t.stopping true) then
+    (* A failed write only means shutdown raced a previous one. *)
+    try ignore (Unix.write t.wake_w (Bytes.make 1 'x') 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* Hand the request to the pool and park until the result cell fills.
+   [Session.execute] never raises, so the cell always fills — but the
+   job also runs under the pool's exception shield, so even a bug there
+   could only lose this one response, never a worker domain. *)
+let dispatch t ~deadline request =
+  let cell = ref None in
+  let lock = Mutex.create () in
+  let filled = Condition.create () in
+  Dp.submit t.pool (fun () ->
+      let resp =
+        try Session.execute t.session ~deadline request
+        with e ->
+          Protocol.Failed { code = "crashed"; detail = Printexc.to_string e }
+      in
+      Mutex.lock lock;
+      cell := Some resp;
+      Condition.signal filled;
+      Mutex.unlock lock);
+  Mutex.lock lock;
+  while !cell = None do
+    Condition.wait filled lock
+  done;
+  Mutex.unlock lock;
+  Option.get !cell
+
+let stats_response t =
+  Protocol.Completed
+    {
+      op = "stats";
+      body =
+        Session.stats_body t.session
+          ~queue_depth:(Atomic.get t.inflight)
+          ~max_queue:t.max_queue ~workers:t.workers
+          ~pool_failed:(Dp.failed_jobs t.pool);
+    }
+
+(* Queue-wait is part of the request's budget, so the deadline is fixed
+   at admission, not at execution start. *)
+let admit t ~timeout_s request =
+  let n = Atomic.fetch_and_add t.inflight 1 in
+  if n >= t.max_queue then begin
+    Atomic.decr t.inflight;
+    Session.note_busy t.session;
+    (* Hint scales with the backlog: with [w] workers each busy slot is
+       roughly one request of service time ahead of the caller. *)
+    let backlog = float_of_int (n + 1 - t.max_queue + 1) in
+    Protocol.Busy
+      { retry_after_s = Float.max 0.1 (backlog /. float_of_int (max 1 t.workers)) }
+  end
+  else begin
+    let deadline =
+      Option.map (fun s -> Core.Monoclock.now () +. s) timeout_s
+    in
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.inflight)
+      (fun () -> dispatch t ~deadline request)
+  end
+
+let respond fd response =
+  Protocol.write_frame fd (Protocol.encode_response response)
+
+let handle_request t fd request =
+  match request with
+  | Protocol.Ping ->
+    respond fd (Protocol.Completed { op = "ping"; body = Protocol.Json.Null });
+    true
+  | Protocol.Stats ->
+    respond fd (stats_response t);
+    true
+  | Protocol.Shutdown ->
+    respond fd
+      (Protocol.Completed { op = "shutdown"; body = Protocol.Json.Null });
+    shutdown t;
+    false
+  | Protocol.Run { timeout_s; _ }
+  | Protocol.Eval { timeout_s; _ }
+  | Protocol.Sleep { timeout_s; _ } ->
+    respond fd (admit t ~timeout_s request);
+    true
+
+let handle_conn t fd =
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | None -> ()
+    | Some json ->
+      let keep_going =
+        match Protocol.decode_request json with
+        | Ok request -> handle_request t fd request
+        | Error detail ->
+          respond fd (Protocol.Failed { code = "bad_request"; detail });
+          true
+      in
+      if keep_going then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.decr t.conns)
+    (fun () ->
+      (* A peer that vanishes mid-frame or writes garbage only loses its
+         own connection. *)
+      try loop () with
+      | Protocol.Framing_error _ | Unix.Unix_error _ -> ())
+
+let serve t =
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.) with
+      | readable, _, _ ->
+        if List.memq t.listen_fd readable && not (Atomic.get t.stopping) then begin
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ ->
+            Atomic.incr t.conns;
+            ignore (Thread.create (fun () -> handle_conn t fd) ())
+          | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _)
+            -> ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Drain: connection threads finish their in-flight request/response
+     exchanges (each bounded by its own deadline), then the pool joins. *)
+  while Atomic.get t.conns > 0 || Atomic.get t.inflight > 0 do
+    Thread.yield ();
+    Unix.sleepf 0.002
+  done;
+  Dp.shutdown t.pool;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  unlink_if_unix t.sockaddr

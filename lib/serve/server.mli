@@ -1,0 +1,41 @@
+(** The [contango serve] daemon: a stream-socket accept loop fronting a
+    shared {!Session} and a dedicated {!Analysis.Domain_pool}.
+
+    Connections are handled by systhreads (blocking I/O costs no domain);
+    Run/Eval/Sleep requests execute on the pool's worker domains, so
+    concurrent requests genuinely run in parallel and share the session's
+    cross-request caches. Admission is bounded: at most [max_queue]
+    requests are queued-or-running at once, and requests over the bound
+    are answered {!Protocol.Busy} with a retry hint instead of being
+    enqueued. [Stats]/[Ping] are answered inline and are never subject to
+    backpressure, so a saturated daemon stays observable. *)
+
+type t
+
+(** [create ?config ?max_queue ?workers sockaddr] binds and listens but
+    does not accept yet. [config] (default {!Core.Config.default}) seeds
+    every request's flow configuration; [max_queue] (default 16) bounds
+    queued-plus-running requests; [workers] sizes the compute pool
+    (default: one per spare core — 0 runs compute inline on connection
+    threads, the single-core degradation). Unix-domain socket paths are
+    unlinked before bind and after {!serve} returns.
+    @raise Unix.Unix_error when binding fails (address in use, bad path). *)
+val create :
+  ?config:Core.Config.t -> ?max_queue:int -> ?workers:int ->
+  Unix.sockaddr -> t
+
+(** The address actually bound — a TCP request for port 0 resolves to
+    the ephemeral port here. *)
+val sockaddr : t -> Unix.sockaddr
+
+val session : t -> Session.t
+
+(** Accept and serve until a [Shutdown] request (or {!shutdown}) stops
+    the loop, then drain: in-flight requests finish (each bounded by its
+    own deadline), the pool joins, sockets close. Blocks the calling
+    thread for the daemon's whole life. *)
+val serve : t -> unit
+
+(** Ask a running {!serve} to stop accepting and drain. Safe from any
+    thread or signal context; idempotent. *)
+val shutdown : t -> unit

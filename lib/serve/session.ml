@@ -1,0 +1,227 @@
+(* Shared evaluation state of the daemon plus the execution of one
+   request against it. One daemon serves one flow configuration, so one
+   {!Analysis.Evaluator.Store} is the config family — every request
+   evaluates under numerically identical kernel settings, which is the
+   correctness condition for sharing solved stages and factorisations
+   (Flow itself drops the store on degraded retries, whose relaxed
+   numerics would poison the shared entries). *)
+
+module Ev = Analysis.Evaluator
+module Json = Suite.Report.Json
+
+type t = {
+  config : Core.Config.t;
+  store : Ev.Store.t;
+  started : float;  (* Monoclock origin of uptime *)
+  served : int Atomic.t;
+  busy_rejected : int Atomic.t;
+  deadline_expired : int Atomic.t;
+  crashed : int Atomic.t;
+  cum_local_hits : int Atomic.t;
+  cum_local_misses : int Atomic.t;
+  cum_store_hits : int Atomic.t;
+  cum_store_misses : int Atomic.t;
+}
+
+let create ?(config = Core.Config.default) () =
+  {
+    config;
+    store = Ev.Store.create ();
+    started = Core.Monoclock.now ();
+    served = Atomic.make 0;
+    busy_rejected = Atomic.make 0;
+    deadline_expired = Atomic.make 0;
+    crashed = Atomic.make 0;
+    cum_local_hits = Atomic.make 0;
+    cum_local_misses = Atomic.make 0;
+    cum_store_hits = Atomic.make 0;
+    cum_store_misses = Atomic.make 0;
+  }
+
+let store t = t.store
+let note_busy t = Atomic.incr t.busy_rejected
+let uptime t = Core.Monoclock.now () -. t.started
+
+let stats_body t ~queue_depth ~max_queue ~workers ~pool_failed =
+  Json.Obj
+    [
+      ("uptime_s", Json.Num (uptime t));
+      ("queue_depth", Json.Num (float_of_int queue_depth));
+      ("max_queue", Json.Num (float_of_int max_queue));
+      ("workers", Json.Num (float_of_int workers));
+      ("served", Json.Num (float_of_int (Atomic.get t.served)));
+      ("busy_rejected", Json.Num (float_of_int (Atomic.get t.busy_rejected)));
+      ("deadline_expired",
+       Json.Num (float_of_int (Atomic.get t.deadline_expired)));
+      ("crashed", Json.Num (float_of_int (Atomic.get t.crashed)));
+      ("pool_failed_jobs", Json.Num (float_of_int pool_failed));
+      ("cache",
+       Json.Obj
+         [
+           ("local_hits",
+            Json.Num (float_of_int (Atomic.get t.cum_local_hits)));
+           ("local_misses",
+            Json.Num (float_of_int (Atomic.get t.cum_local_misses)));
+           ("store_hits",
+            Json.Num (float_of_int (Atomic.get t.cum_store_hits)));
+           ("store_misses",
+            Json.Num (float_of_int (Atomic.get t.cum_store_misses)));
+           ("store_results", Json.Num (float_of_int (Ev.Store.length t.store)));
+           ("store_evictions",
+            Json.Num (float_of_int (Ev.Store.evictions t.store)));
+         ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (runs on a worker domain)                         *)
+(* ------------------------------------------------------------------ *)
+
+let cache_json ~local_hits ~local_misses ~store_hits ~store_misses =
+  Json.Obj
+    [
+      ("local_hits", Json.Num (float_of_int local_hits));
+      ("local_misses", Json.Num (float_of_int local_misses));
+      ("store_hits", Json.Num (float_of_int store_hits));
+      ("store_misses", Json.Num (float_of_int store_misses));
+    ]
+
+let deadline_failed t =
+  Atomic.incr t.deadline_expired;
+  Protocol.Failed
+    { code = "deadline"; detail = "request exceeded its time budget" }
+
+let crash_failed t e bt =
+  Atomic.incr t.crashed;
+  let detail =
+    let raw = Printexc.raw_backtrace_to_string bt in
+    if raw = "" then Printexc.to_string e
+    else Printf.sprintf "%s\n%s" (Printexc.to_string e) raw
+  in
+  Protocol.Failed { code = "crashed"; detail }
+
+let run_request t ~deadline spec =
+  match Suite.Runner.load_bench spec with
+  | exception Failure detail -> Protocol.Failed { code = "bad_request"; detail }
+  | b -> (
+    let handle = Ev.Store.handle t.store in
+    let config =
+      { t.config with Core.Config.deadline; store = Some handle }
+    in
+    let t0 = Core.Monoclock.now () in
+    (* Per-request local cache counters: each trace entry carries the
+       per-step delta, so the sum over the streamed entries is the
+       request's session total. *)
+    let local_hits = ref 0 and local_misses = ref 0 in
+    let on_step (e : Core.Flow.trace_entry) =
+      local_hits := !local_hits + e.Core.Flow.cache_hits;
+      local_misses := !local_misses + e.Core.Flow.cache_misses
+    in
+    match
+      Core.Flow.run_regional ~config ~on_step
+        ~tech:b.Suite.Format_io.tech ~source:b.Suite.Format_io.source
+        ~obstacles:b.Suite.Format_io.obstacles b.Suite.Format_io.sinks
+    with
+    | exception Core.Ivc.Deadline_exceeded -> deadline_failed t
+    | exception e -> crash_failed t e (Printexc.get_raw_backtrace ())
+    | rr ->
+      let r = rr.Core.Flow.r_flow in
+      let final = r.Core.Flow.final in
+      let store_hits = Ev.Store.hits handle in
+      let store_misses = Ev.Store.misses handle in
+      Atomic.incr t.served;
+      ignore (Atomic.fetch_and_add t.cum_local_hits !local_hits);
+      ignore (Atomic.fetch_and_add t.cum_local_misses !local_misses);
+      ignore (Atomic.fetch_and_add t.cum_store_hits store_hits);
+      ignore (Atomic.fetch_and_add t.cum_store_misses store_misses);
+      Protocol.Completed
+        {
+          op = "run";
+          body =
+            Json.Obj
+              [
+                ("spec", Json.Str spec);
+                ("result",
+                 Json.Obj
+                   [
+                     ("skew_ps", Json.Num final.Ev.skew);
+                     ("clr_ps", Json.Num final.Ev.clr);
+                     ("t_max_ps", Json.Num final.Ev.t_max);
+                     ("buffers",
+                      Json.Num
+                        (float_of_int
+                           final.Ev.stats.Ctree.Stats.buffer_count));
+                     ("eval_runs",
+                      Json.Num (float_of_int r.Core.Flow.eval_runs));
+                     ("seconds", Json.Num (Core.Monoclock.now () -. t0));
+                   ]);
+                ("cache",
+                 cache_json ~local_hits:!local_hits
+                   ~local_misses:!local_misses ~store_hits ~store_misses);
+              ];
+        })
+
+let eval_request t ~deadline:_ spec =
+  match Suite.Runner.load_bench spec with
+  | exception Failure detail -> Protocol.Failed { code = "bad_request"; detail }
+  | b -> (
+    match Suite.Baseline.run ~config:t.config b with
+    | exception e -> crash_failed t e (Printexc.get_raw_backtrace ())
+    | r ->
+      Atomic.incr t.served;
+      let eval = r.Suite.Baseline.eval in
+      Protocol.Completed
+        {
+          op = "eval";
+          body =
+            Json.Obj
+              [
+                ("spec", Json.Str spec);
+                ("result",
+                 Json.Obj
+                   [
+                     ("skew_ps", Json.Num eval.Ev.skew);
+                     ("clr_ps", Json.Num eval.Ev.clr);
+                     ("t_max_ps", Json.Num eval.Ev.t_max);
+                     ("seconds", Json.Num r.Suite.Baseline.seconds);
+                   ]);
+              ];
+        })
+
+let sleep_request t ~deadline seconds =
+  let finish = Core.Monoclock.now () +. Float.max 0. seconds in
+  (* Cooperative like the flow: sleep in slices so the budget is honoured
+     within ~5 ms even mid-hold. *)
+  let rec hold () =
+    let now = Core.Monoclock.now () in
+    match deadline with
+    | Some d when now > d -> deadline_failed t
+    | _ ->
+      if now >= finish then begin
+        Atomic.incr t.served;
+        Protocol.Completed
+          {
+            op = "sleep";
+            body = Json.Obj [ ("slept_s", Json.Num seconds) ];
+          }
+      end
+      else begin
+        Unix.sleepf (Float.min 0.005 (finish -. now));
+        hold ()
+      end
+  in
+  hold ()
+
+(* Budget checked once more at execution start: a request can spend its
+   whole budget waiting in the queue. *)
+let execute t ~deadline request =
+  match deadline with
+  | Some d when Core.Monoclock.now () > d -> deadline_failed t
+  | _ -> (
+    match request with
+    | Protocol.Run { spec; _ } -> run_request t ~deadline spec
+    | Protocol.Eval { spec; _ } -> eval_request t ~deadline spec
+    | Protocol.Sleep { seconds; _ } -> sleep_request t ~deadline seconds
+    | Protocol.Stats | Protocol.Ping | Protocol.Shutdown ->
+      (* Inline ops never reach the queue; see Server. *)
+      Protocol.Failed
+        { code = "bad_request"; detail = "op is answered inline, not queued" })

@@ -1,0 +1,45 @@
+(** Shared evaluation state of the daemon, plus the execution of one
+    request against it.
+
+    One daemon serves one flow configuration, so one
+    {!Analysis.Evaluator.Store} {e is} the config family: every request
+    evaluates under numerically identical kernel settings — the
+    correctness condition for sharing solved stages and factorisations
+    across requests. ({!Core.Flow} itself detaches the store on degraded
+    retries, whose relaxed numerics would poison the shared entries.)
+
+    All counters are atomic; {!execute} may run on any worker domain. *)
+
+type t
+
+(** [create ?config ()] — fresh shared state around an empty store.
+    [config] (default {!Core.Config.default}) seeds every request's flow
+    configuration; its [deadline] and [store] fields are overwritten per
+    request. *)
+val create : ?config:Core.Config.t -> unit -> t
+
+(** The shared cross-request store (exposed for tests and telemetry). *)
+val store : t -> Analysis.Evaluator.Store.t
+
+(** Record a backpressure rejection (the server answers those without
+    entering {!execute}). *)
+val note_busy : t -> unit
+
+(** Seconds since [create], monotonic. *)
+val uptime : t -> float
+
+(** The ["stats"] response body: uptime, queue/pool shape, request
+    outcome counters and cumulative cache telemetry. *)
+val stats_body :
+  t -> queue_depth:int -> max_queue:int -> workers:int -> pool_failed:int ->
+  Suite.Report.Json.t
+
+(** Execute one queued request. [deadline] is on the {!Core.Monoclock}
+    scale and is re-checked at entry (queue wait counts against the
+    budget) and cooperatively during execution via
+    {!Core.Config.deadline}. Never raises: failures come back as
+    {!Protocol.Failed} ([deadline] / [bad_request] / [crashed]).
+    [Stats]/[Ping]/[Shutdown] are answered inline by the server and
+    rejected here. *)
+val execute :
+  t -> deadline:float option -> Protocol.request -> Protocol.response

@@ -37,7 +37,9 @@ let embed_centroid ~tech ~source ~topo ~(sinks : Dme.Zst.sink_spec array) =
   tree
 
 let run ?(config = Core.Config.default) (b : Format_io.t) =
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic, like the runner and flow: a wall-clock (NTP) step here
+     would corrupt the baseline timing and hence golden-diff tolerances. *)
+  let t0 = Core.Monoclock.now () in
   let tech = b.Format_io.tech in
   let positions = Array.map (fun s -> s.Dme.Zst.pos) b.Format_io.sinks in
   let topo = Dme.Topology.generate positions in
@@ -65,4 +67,4 @@ let run ?(config = Core.Config.default) (b : Format_io.t) =
     else insert (ceiling *. 0.7) (tries - 1)
   in
   let tree, eval = insert (Route.Slewcap.lumped ~tech ~buf ()) 8 in
-  { tree; eval; seconds = Unix.gettimeofday () -. t0 }
+  { tree; eval; seconds = Core.Monoclock.now () -. t0 }

@@ -6,6 +6,7 @@ type spec =
   | Bench of Format_io.t
   | Inject_fail of string
   | Inject_hang of string
+  | Bad_spec of { bs_name : string; bs_detail : string }
 
 let load_bench s =
   if Sys.file_exists s then
@@ -17,12 +18,26 @@ let load_bench s =
     let prefixed p =
       match String.index_opt s ':' with
       | Some i when String.sub s 0 i = p ->
-        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        Some (String.sub s (i + 1) (String.length s - i - 1))
       | _ -> None
     in
+    (* [ti:]/[grid:] sizes must be strictly positive integers: a generator
+       handed 0 or a negative count would otherwise fail obscurely deep
+       in topology construction (or not at all, looping on an empty sink
+       set). *)
+    let sized p body =
+      match int_of_string_opt body with
+      | Some n when n > 0 -> n
+      | Some n ->
+        failwith
+          (Printf.sprintf "%s: %s:<n> needs a positive sink count, got %d" s p n)
+      | None ->
+        failwith
+          (Printf.sprintf "%s: %s:<n> needs a positive integer, got %S" s p body)
+    in
     match (prefixed "ti", prefixed "grid") with
-    | Some n, _ -> Gen_ti.generate n
-    | _, Some n -> Gen_grid.generate ~n ()
+    | Some body, _ -> Gen_ti.generate (sized "ti" body)
+    | _, Some body -> Gen_grid.generate ~n:(sized "grid" body) ()
     | None, None ->
       failwith
         (Printf.sprintf
@@ -39,7 +54,11 @@ let spec_of_string s =
   match (prefixed "fail:", prefixed "hang:") with
   | Some name, _ -> Inject_fail name
   | _, Some name -> Inject_hang name
-  | None, None -> Bench (load_bench s)
+  | None, None -> (
+    (* An unloadable spec becomes a structured per-instance failure —
+       one bad argument must not abort a whole suite of good ones. *)
+    try Bench (load_bench s)
+    with Failure detail -> Bad_spec { bs_name = s; bs_detail = detail })
 
 type reason = Crashed | Timed_out
 
@@ -82,10 +101,11 @@ let failures r =
 let spec_name = function
   | Bench b -> b.Format_io.name
   | Inject_fail n | Inject_hang n -> n
+  | Bad_spec { bs_name; _ } -> bs_name
 
 let spec_sinks = function
   | Bench b -> Array.length b.Format_io.sinks
-  | Inject_fail _ | Inject_hang _ -> 0
+  | Inject_fail _ | Inject_hang _ | Bad_spec _ -> 0
 
 let sanitize name =
   String.map
@@ -186,6 +206,8 @@ let run_one ~timeout ~config ~resume (spec, trace_path, checkpoint_dir) =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       match spec with
+      | Bad_spec { bs_detail; _ } ->
+        finish (Failed { reason = Crashed; detail = bs_detail })
       | Inject_fail _ ->
         (* Through the same handler as a real crash, so tests exercise the
            exact production path. *)

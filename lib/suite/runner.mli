@@ -38,13 +38,19 @@ type spec =
   | Inject_hang of string
       (** never converges: cooperatively polls the deadline until the
           budget expires (or fails outright when no timeout is set) *)
+  | Bad_spec of { bs_name : string; bs_detail : string }
+      (** a spec string that failed to load or validate — reported as a
+          structured [Crashed] instance so the rest of the suite runs *)
 
 (** [load_bench s] — [s] as a [.cts] file path, an ISPD'09 name, [ti:N]
-    or [grid:N]. @raise Failure with a descriptive message otherwise. *)
+    or [grid:N] (with [N > 0]). @raise Failure with a descriptive
+    message otherwise — including non-positive or non-integer sizes. *)
 val load_bench : string -> Format_io.t
 
 (** [spec_of_string s] — [fail:NAME] / [hang:NAME] injections, anything
-    else via {!load_bench}. @raise Failure on unparseable specs. *)
+    else via {!load_bench}. Never raises: an unloadable or invalid spec
+    (e.g. [ti:-5], [grid:0]) becomes a {!Bad_spec}, which {!run} reports
+    as a per-instance [Crashed] record. *)
 val spec_of_string : string -> spec
 
 type reason = Crashed | Timed_out

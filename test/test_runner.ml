@@ -50,9 +50,11 @@ let test_spec_parsing () =
   | Runner.Bench b ->
     check_int "grid:3 sinks" 9 (Array.length b.Suite.Format_io.sinks)
   | _ -> Alcotest.fail "grid:3 should load a benchmark");
-  check_bool "garbage spec raises" true
+  (* spec_of_string never raises: an unloadable spec becomes a
+     structured Bad_spec that the suite reports as a Crashed instance. *)
+  check_bool "garbage spec becomes Bad_spec" true
     (match Runner.spec_of_string "no-such-bench" with
-    | exception Failure _ -> true
+    | Runner.Bad_spec { bs_name = "no-such-bench"; _ } -> true
     | _ -> false)
 
 (* ---------- fault isolation (the tentpole acceptance scenario) ---------- *)

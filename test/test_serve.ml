@@ -1,0 +1,401 @@
+(* The serve daemon and the lifetime bugfixes that ride with it (ISSUE 8):
+   protocol round-trips, cross-request cache reuse, bounded-queue
+   backpressure, per-request deadlines — plus regressions for the pool
+   exception shield, the inline-submit serialization, the Fcache clock
+   eviction and the runner's spec validation. *)
+
+module Protocol = Serve.Protocol
+module Client = Serve.Client
+module Server = Serve.Server
+module Json = Suite.Report.Json
+module Dp = Analysis.Domain_pool
+module Tr = Analysis.Transient
+module Rcnet = Analysis.Rcnet
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  nl = 0 || go 0
+
+(* ---------- protocol ---------- *)
+
+let test_protocol_roundtrip () =
+  let requests =
+    [
+      Protocol.Run { spec = "ti:200"; timeout_s = Some 12.5 };
+      Protocol.Run { spec = "grid:4"; timeout_s = None };
+      Protocol.Eval { spec = "f11"; timeout_s = Some 0.25 };
+      Protocol.Sleep { seconds = 1.5; timeout_s = None };
+      Protocol.Stats;
+      Protocol.Ping;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_request (Protocol.encode_request r) with
+      | Ok r' -> check_bool "request round-trips" true (r = r')
+      | Error e -> Alcotest.fail e)
+    requests;
+  let responses =
+    [
+      Protocol.Completed
+        { op = "run"; body = Json.Obj [ ("skew_ps", Json.Num 1.25) ] };
+      Protocol.Completed { op = "ping"; body = Json.Null };
+      Protocol.Busy { retry_after_s = 0.5 };
+      Protocol.Failed { code = "deadline"; detail = "budget exceeded" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_response (Protocol.encode_response r) with
+      | Ok r' -> check_bool "response round-trips" true (r = r')
+      | Error e -> Alcotest.fail e)
+    responses;
+  (* Garbage shapes decode to errors, not exceptions. *)
+  List.iter
+    (fun bad ->
+      check_bool "bad request json rejected" true
+        (match Protocol.decode_request bad with
+        | Error _ -> true
+        | Ok _ -> false))
+    [ Json.Null; Json.Obj []; Json.Obj [ ("op", Json.Str "warp") ] ]
+
+let test_framing () =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let payload =
+        Json.Obj [ ("op", Json.Str "ping"); ("n", Json.Num 42.) ]
+      in
+      Protocol.write_frame a payload;
+      Protocol.write_frame a (Json.Str "second");
+      (match Protocol.read_frame b with
+      | Some j -> check_bool "first frame intact" true (j = payload)
+      | None -> Alcotest.fail "unexpected EOF");
+      (match Protocol.read_frame b with
+      | Some j -> check_bool "second frame intact" true (j = Json.Str "second")
+      | None -> Alcotest.fail "unexpected EOF");
+      (* Clean EOF at a frame boundary is None, not an error. *)
+      Unix.close a;
+      check_bool "clean EOF" true (Protocol.read_frame b = None))
+
+(* ---------- daemon fixture ---------- *)
+
+let with_server ?config ?max_queue ?workers f =
+  let dir = Filename.temp_dir "contango_serve" "" in
+  let path = Filename.concat dir "d.sock" in
+  let server = Server.create ?config ?max_queue ?workers (Unix.ADDR_UNIX path) in
+  let addr = Server.sockaddr server in
+  let thread = Thread.create Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Client.oneshot addr Protocol.Shutdown with
+      | Ok _ | Error _ -> ()
+      | exception Unix.Unix_error _ -> Server.shutdown server);
+      Thread.join thread)
+    (fun () ->
+      check_bool "daemon comes up" true (Client.wait_ready addr);
+      f addr)
+
+let cache_field body name =
+  match
+    Json.to_float (Option.bind (Json.member "cache" body) (Json.member name))
+  with
+  | Some v -> int_of_float v
+  | None -> Alcotest.failf "response body lacks cache.%s" name
+
+let run_ok addr spec =
+  match
+    Client.oneshot addr (Protocol.Run { spec; timeout_s = Some 120. })
+  with
+  | Ok (Protocol.Completed { body; _ }) -> body
+  | Ok (Protocol.Busy _) -> Alcotest.fail "unexpected Busy"
+  | Ok (Protocol.Failed { code; detail }) ->
+    Alcotest.failf "request failed (%s): %s" code detail
+  | Error e -> Alcotest.fail e
+
+(* ---------- daemon behaviour ---------- *)
+
+(* The tentpole's acceptance scenario: a second identical request must be
+   served out of the shared stage/factorisation store — nonzero hits,
+   zero misses — and still report the identical result. *)
+let test_cache_reuse () =
+  with_server (fun addr ->
+      let first = run_ok addr "ti:40" in
+      let second = run_ok addr "ti:40" in
+      check_bool "first request misses the store" true
+        (cache_field first "store_misses" > 0);
+      check_bool "repeat hits the store" true
+        (cache_field second "store_hits" > 0);
+      check_int "repeat never misses" 0 (cache_field second "store_misses");
+      let skew body =
+        Json.to_float
+          (Option.bind (Json.member "result" body) (Json.member "skew_ps"))
+      in
+      check_bool "identical result" true (skew first = skew second))
+
+let test_deadline () =
+  with_server (fun addr ->
+      (* Budget expires mid-hold: the cooperative sleep notices within a
+         few ms and answers a structured deadline error. *)
+      (match
+         Client.oneshot addr
+           (Protocol.Sleep { seconds = 30.; timeout_s = Some 0.05 })
+       with
+      | Ok (Protocol.Failed { code; _ }) -> check_string "code" "deadline" code
+      | Ok _ -> Alcotest.fail "expected a deadline failure"
+      | Error e -> Alcotest.fail e);
+      (* Same through the flow's own cooperative checks. *)
+      match
+        Client.oneshot addr
+          (Protocol.Run { spec = "ti:100"; timeout_s = Some 0.002 })
+      with
+      | Ok (Protocol.Failed { code; _ }) -> check_string "code" "deadline" code
+      | Ok _ -> Alcotest.fail "expected a deadline failure"
+      | Error e -> Alcotest.fail e)
+
+let test_bad_spec_request () =
+  with_server (fun addr ->
+      match
+        Client.oneshot addr (Protocol.Run { spec = "ti:-5"; timeout_s = None })
+      with
+      | Ok (Protocol.Failed { code; detail }) ->
+        check_string "code" "bad_request" code;
+        check_bool "detail names the sink count" true
+          (contains detail "positive")
+      | Ok _ -> Alcotest.fail "expected bad_request"
+      | Error e -> Alcotest.fail e)
+
+let queue_depth addr =
+  match Client.oneshot addr Protocol.Stats with
+  | Ok (Protocol.Completed { body; _ }) -> (
+    match Json.to_float (Json.member "queue_depth" body) with
+    | Some v -> int_of_float v
+    | None -> Alcotest.fail "stats lacks queue_depth")
+  | Ok _ | Error _ -> Alcotest.fail "stats request failed"
+
+let test_backpressure () =
+  with_server ~max_queue:2 (fun addr ->
+      (* Two Sleep requests occupy both queue slots; Stats is answered
+         inline, so we can poll for the moment both are admitted without
+         racing the connection threads. *)
+      let sleepers =
+        List.init 2 (fun _ ->
+            Thread.create
+              (fun () ->
+                Client.oneshot addr
+                  (Protocol.Sleep { seconds = 2.0; timeout_s = Some 30. }))
+              ())
+      in
+      let give_up = Core.Monoclock.now () +. 10. in
+      while queue_depth addr < 2 && Core.Monoclock.now () < give_up do
+        Thread.yield ()
+      done;
+      check_int "queue full" 2 (queue_depth addr);
+      (match
+         Client.oneshot addr (Protocol.Sleep { seconds = 0.1; timeout_s = None })
+       with
+      | Ok (Protocol.Busy { retry_after_s }) ->
+        check_bool "retry hint positive" true (retry_after_s > 0.)
+      | Ok _ -> Alcotest.fail "expected Busy over the queue bound"
+      | Error e -> Alcotest.fail e);
+      (* Stats stays answerable while saturated, and counted the reject. *)
+      (match Client.oneshot addr Protocol.Stats with
+      | Ok (Protocol.Completed { body; _ }) ->
+        check_bool "busy_rejected counted" true
+          (Json.to_float (Json.member "busy_rejected" body) = Some 1.)
+      | Ok _ | Error _ -> Alcotest.fail "stats request failed");
+      List.iter
+        (fun t ->
+          match Thread.join t with
+          | () -> ())
+        sleepers;
+      (* Slots free up again once the sleepers drain. *)
+      match
+        Client.oneshot addr (Protocol.Sleep { seconds = 0.; timeout_s = None })
+      with
+      | Ok (Protocol.Completed _) -> ()
+      | Ok _ -> Alcotest.fail "queue should have drained"
+      | Error e -> Alcotest.fail e)
+
+(* ---------- pool regressions ---------- *)
+
+(* A raising submitted job must neither kill a worker domain (shrinking
+   the pool) nor poison later work; it is counted instead. *)
+let test_pool_survives_raising_job () =
+  let pool = Dp.create ~size:1 () in
+  Fun.protect
+    ~finally:(fun () -> Dp.shutdown pool)
+    (fun () ->
+      Dp.submit pool (fun () -> failwith "boom");
+      let give_up = Core.Monoclock.now () +. 10. in
+      while Dp.failed_jobs pool < 1 && Core.Monoclock.now () < give_up do
+        Thread.yield ()
+      done;
+      check_int "failure counted" 1 (Dp.failed_jobs pool);
+      check_int "pool not shrunk" 1 (Dp.size pool);
+      let doubled = Dp.map pool (fun x -> 2 * x) [| 1; 2; 3 |] in
+      check_bool "map still works" true (doubled = [| 2; 4; 6 |]))
+
+(* Size-0 pools run jobs inline on the submitting thread — and systhreads
+   of one domain interleave preemptively, so without serialization two
+   inline jobs corrupt the domain-exclusive scratch they assume they own
+   (the daemon crash on single-core hosts). The overlap detector below
+   fails on the unserialized submit. *)
+let test_inline_submit_serialized () =
+  let pool = Dp.create ~size:0 () in
+  let inside = Atomic.make 0 in
+  let overlap = Atomic.make false in
+  let threads =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 5 do
+              Dp.submit pool (fun () ->
+                  if Atomic.fetch_and_add inside 1 <> 0 then
+                    Atomic.set overlap true;
+                  Thread.yield ();
+                  Thread.delay 0.002;
+                  Atomic.decr inside)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  check_bool "inline jobs never overlap" false (Atomic.get overlap)
+
+(* ---------- Fcache clock eviction ---------- *)
+
+let mk_rc seed =
+  let n = 8 in
+  let parent = Array.init n (fun i -> i - 1) in
+  let res = Array.init n (fun i -> 50. +. float_of_int ((seed * 37) + i)) in
+  let cap = Array.init n (fun i -> 2. +. float_of_int ((seed * 11) + i)) in
+  let taps = [| (n - 1, Rcnet.Tap_sink 0) |] in
+  { Rcnet.parent; res; cap; taps; size = n }
+
+(* At capacity, insertion evicts exactly one cold entry — never the entry
+   being inserted (the pre-fix whole-table reset dropped it too, so the
+   very next lookup refactored it). *)
+let test_fcache_insert_at_cap () =
+  let c = Tr.Fcache.create ~cap:2 () in
+  let rc1 = mk_rc 1 and rc2 = mk_rc 2 and rc3 = mk_rc 3 in
+  let _ = Tr.Fcache.get c rc1 ~step:0.5 in
+  let _ = Tr.Fcache.get c rc2 ~step:0.5 in
+  check_int "at capacity" 2 (Tr.Fcache.length c);
+  let f3 = Tr.Fcache.get c rc3 ~step:0.5 in
+  check_bool "stays within cap" true (Tr.Fcache.length c <= 2);
+  check_bool "just-inserted entry retained" true
+    (Tr.Fcache.get c rc3 ~step:0.5 == f3)
+
+(* Entries hit since their last inspection survive the rotation: the warm
+   entry outlives the cold one. *)
+let test_fcache_second_chance () =
+  let c = Tr.Fcache.create ~cap:2 () in
+  let rc1 = mk_rc 4 and rc2 = mk_rc 5 and rc3 = mk_rc 6 in
+  let f1 = Tr.Fcache.get c rc1 ~step:0.5 in
+  let _ = Tr.Fcache.get c rc2 ~step:0.5 in
+  (* Mark rc1 used, leave rc2 cold; the insert evicts rc2. *)
+  check_bool "hit returns the cached factor" true
+    (Tr.Fcache.get c rc1 ~step:0.5 == f1);
+  let _ = Tr.Fcache.get c rc3 ~step:0.5 in
+  check_bool "warm entry survives eviction" true
+    (Tr.Fcache.get c rc1 ~step:0.5 == f1);
+  Tr.Fcache.clear c;
+  check_int "clear empties" 0 (Tr.Fcache.length c);
+  check_bool "refactors after clear" true
+    (Tr.Fcache.get c rc1 ~step:0.5 != f1)
+
+(* A shared Fstore is consulted on local misses and fed by local
+   factorisations, so a second cache sees the first one's work. *)
+let test_fcache_store_backing () =
+  let store = Tr.Fstore.create () in
+  let c1 = Tr.Fcache.create ~store () in
+  let rc = mk_rc 7 in
+  let f = Tr.Fcache.get c1 rc ~step:0.5 in
+  check_bool "published to the store" true (Tr.Fstore.length store > 0);
+  let c2 = Tr.Fcache.create ~store () in
+  check_bool "fresh cache hits the store" true
+    (Tr.Fcache.get c2 rc ~step:0.5 == f)
+
+(* ---------- runner spec validation ---------- *)
+
+let arnoldi_config =
+  { Core.Config.default with Core.Config.engine = Analysis.Evaluator.Arnoldi }
+
+let test_bad_specs_are_structured () =
+  List.iter
+    (fun (s, fragment) ->
+      match Suite.Runner.spec_of_string s with
+      | Suite.Runner.Bad_spec { bs_name; bs_detail } ->
+        check_string "bad spec keeps its name" s bs_name;
+        check_bool
+          (Printf.sprintf "detail of %S mentions %S" s fragment)
+          true
+          (contains bs_detail fragment)
+      | _ -> Alcotest.failf "%S should parse as Bad_spec" s)
+    [
+      ("ti:-5", "positive");
+      ("grid:0", "positive");
+      ("ti:many", "positive integer");
+      ("no-such-bench.cts", "");
+    ]
+
+let test_bad_spec_runs_as_crashed () =
+  let dir = Filename.temp_dir "contango_serve_suite" "" in
+  let specs = List.map Suite.Runner.spec_of_string [ "ti:-5"; "ti:30" ] in
+  let result =
+    Suite.Runner.run ~out_dir:dir ~jobs:0 ~config:arnoldi_config specs
+  in
+  (match result.Suite.Runner.reports with
+  | [ bad; good ] ->
+    (match bad.Suite.Runner.status with
+    | Suite.Runner.Failed { reason = Suite.Runner.Crashed; detail } ->
+      check_bool "failure carries the validation message" true
+        (contains detail "positive")
+    | _ -> Alcotest.fail "bad spec should report Crashed");
+    (match good.Suite.Runner.status with
+    | Suite.Runner.Completed _ -> ()
+    | _ -> Alcotest.fail "valid instance must still complete")
+  | _ -> Alcotest.fail "expected two instance reports");
+  check_int "exactly one failure" 1
+    (List.length (Suite.Runner.failures result))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("protocol",
+       [ Alcotest.test_case "request/response round-trip" `Quick
+           test_protocol_roundtrip;
+         Alcotest.test_case "framing" `Quick test_framing ]);
+      ("daemon",
+       [ Alcotest.test_case "cross-request cache reuse" `Slow test_cache_reuse;
+         Alcotest.test_case "deadline expiry" `Quick test_deadline;
+         Alcotest.test_case "bad spec" `Quick test_bad_spec_request;
+         Alcotest.test_case "backpressure at max-queue" `Slow
+           test_backpressure ]);
+      ("pool",
+       [ Alcotest.test_case "raising job survives" `Quick
+           test_pool_survives_raising_job;
+         Alcotest.test_case "inline submit serialized" `Quick
+           test_inline_submit_serialized ]);
+      ("fcache",
+       [ Alcotest.test_case "insert at capacity" `Quick
+           test_fcache_insert_at_cap;
+         Alcotest.test_case "second chance" `Quick test_fcache_second_chance;
+         Alcotest.test_case "store backing" `Quick test_fcache_store_backing ]);
+      ("runner",
+       [ Alcotest.test_case "bad specs are structured" `Quick
+           test_bad_specs_are_structured;
+         Alcotest.test_case "bad spec runs as Crashed" `Slow
+           test_bad_spec_runs_as_crashed ]);
+    ]
