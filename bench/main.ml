@@ -37,6 +37,13 @@ let region_only = Sys.getenv_opt "CONTANGO_BENCH_REGION" <> None
    concurrent request throughput against an in-process daemon plus the
    cross-request cache-hit rate. Writes bench_out/serve_bench.json. *)
 let serve_only = Sys.getenv_opt "CONTANGO_BENCH_SERVE" <> None
+
+(* CONTANGO_BENCH_SURROGATE=1: run only the surrogate-ranking benchmark —
+   the Table V family with surrogate ranking off vs on (eval counts and
+   final-quality deltas) plus a sequential Pareto sweep measuring the
+   cross-point store hit rate. Writes bench_out/surrogate_bench.json;
+   CI gates on reduction_pct, accuracy_ok and pareto.hit_rate. *)
+let surrogate_only = Sys.getenv_opt "CONTANGO_BENCH_SURROGATE" <> None
 let out_dir = "bench_out"
 
 let fmt = Suite.Report.fmt
@@ -1217,11 +1224,189 @@ let serve_bench () =
   Printf.printf "wrote %s\n" out
 
 (* ------------------------------------------------------------------ *)
+(* Surrogate-ranking benchmark: evals off vs on + Pareto store reuse    *)
+(* ------------------------------------------------------------------ *)
+
+(* A run counts as an accuracy regression when surrogate-on lands more
+   than this much worse than surrogate-off on final skew or CLR. The
+   ranked search may take a different (cheaper) path to a different
+   local optimum; the tolerance bounds how much quality that path is
+   allowed to give up. *)
+let surrogate_tol_ps = 0.5
+
+let surrogate_bench () =
+  section "Surrogate ranking — Table V family, ranking off vs on";
+  let sizes = [ 200; 500; 1_000; 2_000 ] in
+  let run_one ~surrogate n =
+    let b = Suite.Gen_ti.generate n in
+    (* speculation = 1 pins the unranked search to the serial lazy scan:
+       at auto width the surrogate-off eval counts would depend on the
+       machine's core count (eager parallel batches evaluate would-be
+       discarded rungs), and the off column is this benchmark's
+       reference. Surrogate-on counts are width-independent by design. *)
+    let config =
+      { Core.Config.scalability with Core.Config.surrogate; speculation = 1 }
+    in
+    let r =
+      Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
+        ~source:b.Suite.Format_io.source b.Suite.Format_io.sinks
+    in
+    (r.Core.Flow.eval_runs, r.Core.Flow.final, r.Core.Flow.surrogate)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        Printf.printf "  ti%d off...%!" n;
+        let evals_off, off, _ = run_one ~surrogate:false n in
+        Printf.printf " %d evals; on...%!" evals_off;
+        let evals_on, on, stats = run_one ~surrogate:true n in
+        Printf.printf " %d evals\n%!" evals_on;
+        (n, evals_off, off, evals_on, on, stats))
+      sizes
+  in
+  let header =
+    [ "sinks"; "evals off"; "evals on"; "skew off"; "skew on"; "CLR off";
+      "CLR on"; "warm"; "ranked"; "fall"; "saved"; "mispred" ]
+  in
+  print_string
+    (Suite.Report.table ~title:"" ~header
+       (List.map
+          (fun (n, eo, off, en, on, stats) ->
+            let warm, ranked, fall, saved, mis =
+              match stats with
+              | Some s ->
+                Analysis.Surrogate.
+                  ( s.warmup_rounds, s.ranked_rounds, s.fallbacks,
+                    s.evals_saved, s.mispredicts )
+              | None -> (0, 0, 0, 0, 0)
+            in
+            [ string_of_int n; string_of_int eo; string_of_int en;
+              fmt ~decimals:3 off.Ev.skew; fmt ~decimals:3 on.Ev.skew;
+              fmt ~decimals:2 off.Ev.clr; fmt ~decimals:2 on.Ev.clr;
+              string_of_int warm; string_of_int ranked; string_of_int fall;
+              string_of_int saved; string_of_int mis ])
+          rows));
+  let total f = List.fold_left (fun a r -> a + f r) 0 rows in
+  let evals_off = total (fun (_, e, _, _, _, _) -> e) in
+  let evals_on = total (fun (_, _, _, e, _, _) -> e) in
+  let reduction_pct =
+    if evals_off = 0 then 0.
+    else 100. *. float_of_int (evals_off - evals_on) /. float_of_int evals_off
+  in
+  let regressions =
+    List.filter
+      (fun (_, _, off, _, on, _) ->
+        on.Ev.skew > off.Ev.skew +. surrogate_tol_ps
+        || on.Ev.clr > off.Ev.clr +. surrogate_tol_ps)
+      rows
+  in
+  let accuracy_ok = regressions = [] in
+  Printf.printf
+    "eval runs: %d off -> %d on (%.1f%% reduction); accuracy %s\n" evals_off
+    evals_on reduction_pct
+    (if accuracy_ok then "ok"
+     else
+       "REGRESSED on "
+       ^ String.concat ", "
+           (List.map (fun (n, _, _, _, _, _) -> Printf.sprintf "ti%d" n)
+              regressions));
+  section "Pareto sweep — sequential (jobs=0), shared family stores";
+  let b = Suite.Gen_ti.generate 500 in
+  let sweep =
+    Suite.Pareto.run ~jobs:0 ~config:Core.Config.scalability b
+  in
+  print_string (Suite.Pareto.table sweep);
+  let hits, misses = Suite.Pareto.store_totals sweep in
+  let hit_rate = Suite.Pareto.hit_rate sweep in
+  Printf.printf "store: %d hits / %d misses (hit rate %.2f)\n" hits misses
+    hit_rate;
+  let open Suite.Report.Json in
+  let stats_json =
+    let s =
+      List.fold_left
+        (fun acc (_, _, _, _, _, stats) ->
+          match (acc, stats) with
+          | None, s -> s
+          | Some a, Some s ->
+            Some
+              Analysis.Surrogate.
+                {
+                  observations = a.observations + s.observations;
+                  refits = a.refits + s.refits;
+                  warmup_rounds = a.warmup_rounds + s.warmup_rounds;
+                  ranked_rounds = a.ranked_rounds + s.ranked_rounds;
+                  fallbacks = a.fallbacks + s.fallbacks;
+                  mispredicts = a.mispredicts + s.mispredicts;
+                  evals_saved = a.evals_saved + s.evals_saved;
+                }
+          | Some _, None -> acc)
+        None rows
+    in
+    match s with
+    | None -> Null
+    | Some s ->
+      Obj
+        Analysis.Surrogate.
+          [
+            ("observations", Num (float_of_int s.observations));
+            ("refits", Num (float_of_int s.refits));
+            ("warmup_rounds", Num (float_of_int s.warmup_rounds));
+            ("ranked_rounds", Num (float_of_int s.ranked_rounds));
+            ("fallbacks", Num (float_of_int s.fallbacks));
+            ("mispredicts", Num (float_of_int s.mispredicts));
+            ("evals_saved", Num (float_of_int s.evals_saved));
+          ]
+  in
+  let json =
+    Obj
+      [
+        ("eval_runs_off", Num (float_of_int evals_off));
+        ("eval_runs_on", Num (float_of_int evals_on));
+        ("reduction_pct", Num reduction_pct);
+        ("accuracy_ok", Bool accuracy_ok);
+        ("tolerance_ps", Num surrogate_tol_ps);
+        ("rows",
+         List
+           (List.map
+              (fun (n, eo, off, en, on, _) ->
+                Obj
+                  [
+                    ("sinks", Num (float_of_int n));
+                    ("evals_off", Num (float_of_int eo));
+                    ("evals_on", Num (float_of_int en));
+                    ("skew_off_ps", Num off.Ev.skew);
+                    ("skew_on_ps", Num on.Ev.skew);
+                    ("clr_off_ps", Num off.Ev.clr);
+                    ("clr_on_ps", Num on.Ev.clr);
+                  ])
+              rows));
+        ("surrogate", stats_json);
+        ("pareto",
+         Obj
+           [
+             ("bench", Str (Suite.Gen_ti.generate 500).Suite.Format_io.name);
+             ("hits", Num (float_of_int hits));
+             ("misses", Num (float_of_int misses));
+             ("hit_rate", Num hit_rate);
+             ("points",
+              Num (float_of_int (List.length sweep.Suite.Pareto.pr_points)));
+           ]);
+      ]
+  in
+  let out = Filename.concat out_dir "surrogate_bench.json" in
+  Core.Persist.write_atomic out (to_string json);
+  Printf.printf "wrote %s\n" out
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let t0 = Core.Monoclock.now () in
-  if serve_only then begin
+  if surrogate_only then begin
+    surrogate_bench ();
+    Printf.printf "\ntotal harness time: %.1f s\n" (Core.Monoclock.now () -. t0)
+  end
+  else if serve_only then begin
     serve_bench ();
     Printf.printf "\ntotal harness time: %.1f s\n" (Core.Monoclock.now () -. t0)
   end

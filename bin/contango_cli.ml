@@ -3,6 +3,7 @@
      contango generate <name|ti:N> -o bench.cts
      contango run bench.cts [--engine spice|arnoldi] [--svg out.svg]
      contango suite SPEC... [--timeout S] [--jobs N] [--baseline golden.json]
+     contango pareto bench.cts [--jobs N]   (knob sweep -> Pareto front)
      contango eval bench.cts            (baseline greedy-CTS, for comparison)
      contango svg bench.cts -o tree.svg (initial tree only, slack-coloured)
      contango serve --socket /tmp/c.sock [--max-queue N] [--workers N]
@@ -42,7 +43,7 @@ let load_bench s =
 
 let config_of ?second_pass_skew ?speculation ?probe_count ?size_probe_min_len
     ?snake_probe_min_len ?seg_len ?regions ?(regional = false) ?stitch_skew
-    ~engine () =
+    ?(surrogate = false) ?rank_top ~engine () =
   let c = Core.Config.default in
   (* [--regional] alone picks a sensible region count; an explicit
      [--regions] always wins. *)
@@ -87,8 +88,14 @@ let config_of ?second_pass_skew ?speculation ?probe_count ?size_probe_min_len
     | Some n -> { c with Core.Config.size_probe_min_len = n }
     | None -> c
   in
-  match snake_probe_min_len with
-  | Some n -> { c with Core.Config.snake_probe_min_len = n }
+  let c =
+    match snake_probe_min_len with
+    | Some n -> { c with Core.Config.snake_probe_min_len = n }
+    | None -> c
+  in
+  let c = if surrogate then { c with Core.Config.surrogate = true } else c in
+  match rank_top with
+  | Some n -> { c with Core.Config.rank_top = n }
   | None -> c
 
 (* Optimization-loop knobs shared by the run and suite commands. *)
@@ -107,6 +114,24 @@ let speculate_arg =
                  width from the core count (default), -1 restores the \
                  legacy copy-based serial loop. Results are identical for \
                  every N >= 0; only wall-clock changes.")
+
+let surrogate_arg =
+  Arg.(value & flag
+       & info [ "surrogate" ]
+           ~doc:"Rank speculative candidates with the calibrated linear \
+                 surrogate: once calibrated, only the top-R predicted \
+                 candidates of each IVC round pay a full evaluation (a \
+                 trust-radius mispredict guard falls back to the full \
+                 set). Off (the default) reproduces the unranked search \
+                 bit-identically; on keeps final quality within the IVC \
+                 tolerance while cutting the evaluation count.")
+
+let rank_top_arg =
+  Arg.(value & opt (some int) None
+       & info [ "rank-top" ] ~docv:"R"
+           ~doc:"Top-R candidates that pay a full evaluation per \
+                 surrogate-ranked round (0, the default, scales with the \
+                 candidate count). Only read with $(b,--surrogate).")
 
 let probe_count_arg =
   Arg.(value & opt (some int) None
@@ -205,14 +230,14 @@ let run_cmd =
                    there. Runs from scratch when $(docv) has no loadable \
                    checkpoint.")
   in
-  let run spec engine seg_len second_pass_skew speculation probe_count
-      size_probe_min_len snake_probe_min_len regions regional stitch_skew
-      checkpoints resume svg =
+  let run spec engine seg_len second_pass_skew speculation surrogate rank_top
+      probe_count size_probe_min_len snake_probe_min_len regions regional
+      stitch_skew checkpoints resume svg =
     let b = load_bench spec in
     let config =
-      config_of ?second_pass_skew ?speculation ?probe_count
-        ?size_probe_min_len ?snake_probe_min_len ?seg_len ?regions ~regional
-        ?stitch_skew ~engine ()
+      config_of ?second_pass_skew ?speculation ~surrogate ?rank_top
+        ?probe_count ?size_probe_min_len ?snake_probe_min_len ?seg_len
+        ?regions ~regional ?stitch_skew ~engine ()
     in
     let checkpoint_dir, resume_on =
       match resume with
@@ -281,13 +306,23 @@ let run_cmd =
                 (float_of_int radius /. 1.e6)
                 skew)
             profile));
+    (match r.Core.Flow.surrogate with
+    | None -> ()
+    | Some s ->
+      Printf.printf
+        "surrogate: %d observations, %d refits, rounds %d warm-up / %d \
+         ranked, %d evals saved, %d mispredicts, %d fallbacks\n"
+        s.Analysis.Surrogate.observations s.Analysis.Surrogate.refits
+        s.Analysis.Surrogate.warmup_rounds s.Analysis.Surrogate.ranked_rounds
+        s.Analysis.Surrogate.evals_saved s.Analysis.Surrogate.mispredicts
+        s.Analysis.Surrogate.fallbacks);
     Option.iter (write_slack_svg r.Core.Flow.tree r.Core.Flow.final) svg
   in
   Cmd.v (Cmd.info "run" ~doc:"Run the full Contango flow on a benchmark.")
     Term.(const run $ spec $ engine $ seg_len_arg $ second_pass_skew
-          $ speculate_arg $ probe_count_arg $ size_probe_min_len_arg
-          $ snake_probe_min_len_arg $ regions_arg $ regional_arg
-          $ stitch_skew_arg $ checkpoints $ resume $ svg)
+          $ speculate_arg $ surrogate_arg $ rank_top_arg $ probe_count_arg
+          $ size_probe_min_len_arg $ snake_probe_min_len_arg $ regions_arg
+          $ regional_arg $ stitch_skew_arg $ checkpoints $ resume $ svg)
 
 (* suite *)
 let suite_cmd =
@@ -357,13 +392,14 @@ let suite_cmd =
                    from scratch), and keep checkpointing there.")
   in
   let run specs out_dir timeout jobs engine seg_len second_pass_skew
-      speculation probe_count size_probe_min_len snake_probe_min_len regions
-      regional stitch_skew baseline tol_skew tol_clr checkpoints resume =
+      speculation surrogate rank_top probe_count size_probe_min_len
+      snake_probe_min_len regions regional stitch_skew baseline tol_skew
+      tol_clr checkpoints resume =
     let specs = List.map Suite.Runner.spec_of_string specs in
     let config =
-      config_of ?second_pass_skew ?speculation ?probe_count
-        ?size_probe_min_len ?snake_probe_min_len ?seg_len ?regions ~regional
-        ?stitch_skew ~engine ()
+      config_of ?second_pass_skew ?speculation ~surrogate ?rank_top
+        ?probe_count ?size_probe_min_len ?snake_probe_min_len ?seg_len
+        ?regions ~regional ?stitch_skew ~engine ()
     in
     let checkpoints_root, resume_on =
       match resume with
@@ -407,10 +443,70 @@ let suite_cmd =
        ~doc:"Run a benchmark suite with fault isolation, per-step JSONL \
              telemetry and optional golden-baseline regression gating.")
     Term.(const run $ specs $ out_dir $ timeout $ jobs $ engine
-          $ seg_len_arg $ second_pass_skew $ speculate_arg $ probe_count_arg
-          $ size_probe_min_len_arg $ snake_probe_min_len_arg $ regions_arg
-          $ regional_arg $ stitch_skew_arg $ baseline
-          $ tol_skew $ tol_clr $ checkpoints $ resume)
+          $ seg_len_arg $ second_pass_skew $ speculate_arg $ surrogate_arg
+          $ rank_top_arg $ probe_count_arg $ size_probe_min_len_arg
+          $ snake_probe_min_len_arg $ regions_arg $ regional_arg
+          $ stitch_skew_arg $ baseline $ tol_skew $ tol_clr $ checkpoints
+          $ resume)
+
+(* pareto *)
+let pareto_cmd =
+  let spec = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH") in
+  let out_dir =
+    Arg.(value & opt string "bench_out"
+         & info [ "o"; "out-dir" ] ~docv:"DIR"
+             ~doc:"Directory for the <bench>.pareto.json report.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-point wall-clock budget; a point past it is recorded \
+                   as failed.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Worker domains running sweep points in parallel (0 = \
+                   sequential — the maximum cache-reuse setting; default: \
+                   one per spare core).")
+  in
+  let engine =
+    Arg.(value & opt (some engine_conv) None
+         & info [ "engine" ] ~doc:"Evaluation engine: spice (boxed reference), flat (streaming flat-arena kernel), arnoldi, elmore.")
+  in
+  let run spec out_dir timeout jobs engine seg_len speculation surrogate
+      rank_top =
+    let b = load_bench spec in
+    let config = config_of ?speculation ~surrogate ?rank_top ?seg_len ~engine () in
+    let r = Suite.Pareto.run ?timeout ?jobs ~config b in
+    print_string (Suite.Pareto.table r);
+    let path = Suite.Pareto.write_json ~out_dir r in
+    Printf.printf "wrote %s\n" path;
+    let hits, misses = Suite.Pareto.store_totals r in
+    Printf.printf
+      "pareto: %d points in %.1f s — shared-store %d hits / %d misses \
+       (%.0f%% reuse)\n"
+      (List.length r.Suite.Pareto.pr_points)
+      r.Suite.Pareto.pr_seconds hits misses
+      (100. *. Suite.Pareto.hit_rate r);
+    let failed =
+      List.filter
+        (fun p ->
+          match p.Suite.Pareto.pt_outcome with
+          | Error _ -> true
+          | Ok _ -> false)
+        r.Suite.Pareto.pr_points
+    in
+    if failed <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"Sweep one benchmark over a grid of knob vectors (buffer \
+             ladder, wire widths, snaking, transient mode, speculation \
+             width), share stage-result stores across compatible points, \
+             and report the skew/CLR/cap/runtime Pareto front.")
+    Term.(const run $ spec $ out_dir $ timeout $ jobs $ engine $ seg_len_arg
+          $ speculate_arg $ surrogate_arg $ rank_top_arg)
 
 (* eval (baseline) *)
 let eval_cmd =
@@ -700,5 +796,5 @@ let () =
       ~doc:"Integrated optimization of SoC clock networks (DATE'10 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ generate_cmd; run_cmd; suite_cmd; eval_cmd; svg_cmd; netlist_cmd;
-         mc_cmd; mesh_cmd; serve_cmd; client_cmd ]))
+       [ generate_cmd; run_cmd; suite_cmd; pareto_cmd; eval_cmd; svg_cmd;
+         netlist_cmd; mc_cmd; mesh_cmd; serve_cmd; client_cmd ]))

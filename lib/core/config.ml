@@ -30,9 +30,12 @@ type t = {
   stitch_skew_ps : float;
   inject_numerical_failures : int;
   debug : bool;
+  surrogate : bool;
+  rank_top : int;
   store : Analysis.Evaluator.Store.handle option;
   evaluator : Speculate.hooks option;
   spec : Speculate.t option;
+  surrogate_state : Analysis.Surrogate.t option;
 }
 
 (* Historical escape hatch, honoured once at startup so existing
@@ -73,9 +76,12 @@ let default =
     stitch_skew_ps = 1.0;
     inject_numerical_failures = 0;
     debug = debug_env;
+    surrogate = false;
+    rank_top = 0;
     store = None;
     evaluator = None;
     spec = None;
+    surrogate_state = None;
   }
 
 let scalability =
@@ -86,6 +92,7 @@ let scalability =
     vg_step = 150_000;
     vg_buckets = Some 32;
     max_rounds = 200;
+    surrogate = true;
   }
 
 let speculation_width t =

@@ -119,6 +119,23 @@ type t = {
       (** per-IVC-decision logging on stderr. Defaults to whether
           [CONTANGO_DEBUG] was set at startup; the suite runner can flip
           it per instance without re-exec *)
+  surrogate : bool;
+      (** rank speculative candidates with the calibrated
+          {!Analysis.Surrogate} model: once calibrated, only the top-R
+          predicted candidates of each round pay a full evaluation (a
+          trust-radius mispredict guard falls back to the full set).
+          [false] (the default) reproduces the unranked search exactly —
+          bit-identical trees and evaluation schedule; [true] (set in
+          {!scalability}) keeps final quality within the IVC tolerance
+          while cutting the evaluation count. The surrogate-on schedule
+          is itself width- and machine-independent: warm-up rounds use
+          the serial lazy scan, ranked rounds evaluate a deterministic
+          subset *)
+  rank_top : int;
+      (** how many top-ranked candidates pay a full evaluation per
+          surrogate-ranked round; [0] (the default) scales with the
+          candidate count ([max 1 (k/4)] — one rung of the scale
+          ladder). Mispredicts persistently widen the effective R *)
   store : Analysis.Evaluator.Store.handle option;
       (** shared cross-request stage-result store for the main
           incremental session (see {!Analysis.Evaluator.Store}); set by
@@ -137,6 +154,12 @@ type t = {
       (** speculation context over the flow's main tree, set by {!Flow};
           {!Ivc.speculate} uses it when the pass operates on that tree
           and falls back to a serial context otherwise *)
+  surrogate_state : Analysis.Surrogate.t option;
+      (** live calibration state for [surrogate], created per run by
+          {!Flow} (never shared across domains); [None] disables ranking
+          even when [surrogate] is set — degraded retries clear it so
+          recovery runs stay conservative. Passes should not set it
+          themselves *)
 }
 
 val default : t

@@ -74,6 +74,7 @@ type result = {
   incidents : incident list;
   eval_runs : int;
   seconds : float;
+  surrogate : Analysis.Surrogate.stats option;
 }
 
 let initial_tree ?(config = Config.default) ~tech ~source ?(obstacles = [])
@@ -455,6 +456,14 @@ let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
   let main_hooks = ref (plain_hooks base_config) in
   let cfg = ref base_config in
   let last_hits = ref 0 and last_misses = ref 0 in
+  (* One surrogate calibration state per run (never shared across
+     domains — regional and suite fan-outs each create their own), armed
+     only when the caller opted in and the journaled search is active. *)
+  let surrogate_state =
+    if base_config.Config.surrogate && base_config.Config.speculation >= 0
+    then Some (Analysis.Surrogate.create ())
+    else None
+  in
   (* One incremental session drives every CNE of the optimization steps
      (unless disabled): the session survives IVC attempt/rollback cycles,
      so stages untouched by a rejected or localised move are answered from
@@ -485,7 +494,13 @@ let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
     main_hooks := hooks;
     last_hits := 0;
     last_misses := 0;
-    cfg := { c with Config.evaluator = Some hooks; spec = None }
+    (* Degraded retries run without surrogate ranking: recovery should
+       take the conservative, fully-evaluated path. *)
+    cfg :=
+      { c with
+        Config.evaluator = Some hooks;
+        spec = None;
+        surrogate_state = (if degraded = 0 then surrogate_state else None) }
   in
   rebuild ~degraded:0;
   let evaluate t = Ivc.evaluate !cfg t in
@@ -782,6 +797,7 @@ let run ?(config = Config.default) ?on_step ?on_incident ?checkpoint_dir
     incidents = List.rev !incidents;
     eval_runs = Evaluator.eval_count () - runs0;
     seconds = Monoclock.now () -. t0;
+    surrogate = Option.map Analysis.Surrogate.stats surrogate_state;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -882,7 +898,7 @@ let run_regional ?(config = Config.default) ?on_step ?on_incident
             polarity = l.Checkpoint.ck_polarity;
             repair = l.Checkpoint.ck_repair; incidents = [];
             eval_runs = Evaluator.eval_count () - runs0;
-            seconds = Monoclock.now () -. t0 };
+            seconds = Monoclock.now () -. t0; surrogate = None };
         r_stitch = None }
     | None ->
       let incidents = ref [] in
@@ -1249,7 +1265,7 @@ let run_regional ?(config = Config.default) ?on_step ?on_incident
             chosen_buf = top.chosen_buf; polarity; repair = top.repair;
             incidents = List.rev !incidents;
             eval_runs = Evaluator.eval_count () - runs0;
-            seconds = Monoclock.now () -. t0 };
+            seconds = Monoclock.now () -. t0; surrogate = None };
         r_stitch =
           Some
             { st_regions;

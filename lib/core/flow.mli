@@ -99,6 +99,10 @@ type result = {
   incidents : incident list;     (** stage failures, in occurrence order *)
   eval_runs : int;               (** total evaluation runs consumed *)
   seconds : float;
+  surrogate : Analysis.Surrogate.stats option;
+      (** calibration telemetry of this run's surrogate state, when
+          [config.surrogate] armed ranking ([None] otherwise, and for
+          stitched regional results — each region run reports its own) *)
 }
 
 (** Verified on-disk flow checkpoints: one [<STEP>.ckpt] per completed

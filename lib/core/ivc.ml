@@ -159,6 +159,67 @@ let ctx_for config tree =
   | Some ctx when Speculate.main ctx == tree -> ctx
   | _ -> Speculate.serial ~main:tree ~hooks:(hooks config)
 
+(* ------------------------------------------------------------------ *)
+(* Surrogate-ranked candidate search                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Surrogate = Analysis.Surrogate
+
+(* The live calibration state, when ranking applies: the flag is on,
+   the legacy loop is not forced, and Flow created a per-run state. *)
+let surrogate_state config =
+  if config.Config.surrogate && config.Config.speculation >= 0 then
+    config.Config.surrogate_state
+  else None
+
+let objective_tag = function
+  | Skew -> "skew"
+  | Clr -> "clr"
+  | Insertion_delay -> "tmax"
+
+(* Models are calibrated per technology bundle (the paper's point that
+   per-design tuning must not be needed) and per objective — a skew
+   delta and a CLR delta respond to the same edit differently. *)
+let surrogate_key tree objective =
+  (Tree.tech tree).Tech.name ^ "/" ^ objective_tag objective
+
+let measured_delta objective ~baseline (ev : Evaluator.t) =
+  match objective with
+  | Skew -> ev.Evaluator.skew -. baseline.Evaluator.skew
+  | Clr -> ev.Evaluator.clr -. baseline.Evaluator.clr
+  | Insertion_delay -> ev.Evaluator.t_max -. baseline.Evaluator.t_max
+
+(* Cheap feature probe: apply the candidate under a journal, snapshot
+   the touched nodes' electrical state, roll back through the session
+   hooks (so the dirty-anchor chain survives), snapshot the same nodes
+   again on the restored tree. No evaluation anywhere — the probe costs
+   tree surgery only. *)
+let probe_features config tree ~pos apply =
+  let h = hooks config in
+  let abandon () =
+    h.Speculate.note ~edits:None ~new_revision:(Tree.revision tree)
+  in
+  let j = Tree.Journal.start tree in
+  match apply tree with
+  | exception e ->
+    (try rollback config tree j
+     with Invalid_argument _ ->
+       Tree.Journal.abandon j;
+       abandon ());
+    raise e
+  | () ->
+    let ids = Tree.Journal.touched j in
+    let post = Surrogate.capture tree ids in
+    (try rollback config tree j
+     with Invalid_argument _ as e ->
+       (* A journal bypass on the main tree is the same fatal condition
+          the serial explorer reports — never corrupt silently. *)
+       Tree.Journal.abandon j;
+       abandon ();
+       raise e);
+    let pre = Surrogate.capture tree ids in
+    Surrogate.features ~pos ~ids ~pre ~post
+
 let speculate config tree ~baseline ~objective candidates =
   check_deadline config;
   let ctx = ctx_for config tree in
@@ -173,12 +234,156 @@ let speculate config tree ~baseline ~objective candidates =
     debug_decision config ~baseline ~candidate;
     ok_violations ~baseline ~candidate && better objective ~candidate ~baseline
   in
-  match Speculate.explore_first ctx candidates ~accept with
-  | None -> None
-  | Some (i, outcome) ->
+  let commit_win (i, (outcome : Speculate.outcome)) =
     Atomic.incr accepts_counter;
     Speculate.commit ctx outcome;
     Some (i, outcome.Speculate.ev)
+  in
+  match surrogate_state config with
+  | None -> (
+    match Speculate.explore_first ctx candidates ~accept with
+    | None -> None
+    | Some win -> commit_win win)
+  | Some state ->
+    (* Surrogate-ranked search. Every decision below is a pure function
+       of (model state, probed features, measured evaluations), and
+       every evaluated candidate set is deterministic — so the schedule,
+       the eval count and the winner are identical at every speculation
+       width and on every machine, unlike the eager unranked batches
+       whose discarded-loser count depends on the pool size. *)
+    let k = Array.length candidates in
+    let key = surrogate_key tree objective in
+    let pos = Surrogate.position_fn baseline in
+    let feats = Array.map (probe_features config tree ~pos) candidates in
+    let observe i (o : Speculate.outcome) =
+      Surrogate.observe state ~key feats.(i)
+        (measured_delta objective ~baseline o.Speculate.ev)
+    in
+    let preds = Array.map (fun x -> Surrogate.predict state ~key x) feats in
+    if k = 0 || Array.exists Option.is_none preds then begin
+      (* Warm-up: the model is cold. Run the width-1 lazy schedule
+         (identical at every width — [lazy_only]) and feed every
+         measured pair, winner or loser, into the calibration buffer. *)
+      Surrogate.note_warmup state;
+      match
+        Speculate.explore_first ~measured:observe ~lazy_only:true ctx
+          candidates ~accept
+      with
+      | None -> None
+      | Some win -> commit_win win
+    end
+    else begin
+      Surrogate.note_ranked state;
+      let preds = Array.map Option.get preds in
+      (* First-survivor scan over a candidate subset, in original-index
+         order, feeding every measured outcome to calibration. The lazy
+         serial schedule stops at the first acceptance — exactly the
+         unranked search's cost model — and keeps the evaluated set
+         width-independent. *)
+      let explore_sub idxs =
+        if Array.length idxs = 0 then None
+        else begin
+          let mapped = Array.map (fun i -> candidates.(i)) idxs in
+          let measured si o = observe idxs.(si) o in
+          match
+            Speculate.explore_first ~measured ~lazy_only:true ctx mapped
+              ~accept
+          with
+          | None -> None
+          | Some (si, o) -> Some (idxs.(si), o)
+        end
+      in
+      (* A candidate whose optimistic bound (prediction minus the 1σ
+         pruning margin) cannot clear the improvement threshold is ruled
+         out without evaluation. *)
+      let prune = Surrogate.prune_radius state ~key in
+      let hopeless j = fst preds.(j) -. prune > -.eps in
+      let all = List.init k Fun.id in
+      if
+        List.for_all hopeless all
+        && not (Surrogate.audit_hopeless state)
+      then begin
+        (* The model confidently rules out the whole round — the search
+           ends with zero evaluations where the unranked scan would pay
+           k rejections. Every 8th such round falls through to the
+           ranked path instead (the audit), so a drifted model cannot
+           silently terminate every loop. *)
+        Surrogate.note_saved state k;
+        None
+      end
+      else begin
+        (* Rank by predicted delta (most improving first), ties by index
+           so the baseline's preference order breaks them. *)
+        let order = Array.init k Fun.id in
+        Array.sort
+          (fun a b ->
+            match Float.compare (fst preds.(a)) (fst preds.(b)) with
+            | 0 -> Int.compare a b
+            | c -> c)
+          order;
+        let base_r =
+          if config.Config.rank_top > 0 then config.Config.rank_top
+          else max 1 (k / 4)
+        in
+        let r = min k (base_r + Surrogate.widening state ~key) in
+        let chunk = Array.sub order 0 r in
+        (* Scan in original-index order: the winner rule stays "lowest
+           original index among accepted", the same preference the
+           unranked search implements. *)
+        Array.sort Int.compare chunk;
+        let in_chunk = Array.make k false in
+        Array.iter (fun i -> in_chunk.(i) <- true) chunk;
+        match explore_sub chunk with
+        | Some (i, o) ->
+          let pred, trust = preds.(i) in
+          let meas = measured_delta objective ~baseline o.Speculate.ev in
+          if Float.abs (meas -. pred) <= trust then begin
+            Surrogate.note_intrust state ~key;
+            Surrogate.note_saved state (k - r);
+            commit_win (i, o)
+          end
+          else begin
+            (* Mispredict guard: the winner's measured delta fell outside
+               the model's own trust radius, so the ranking cannot be
+               relied on this round — widen R persistently and fall back.
+               Only skipped candidates {e below} i can displace it: the
+               winner rule is lowest accepted index, so anything above i
+               loses to it regardless of its outcome. *)
+            Surrogate.note_mispredict state ~key;
+            Surrogate.note_fallback state;
+            let below =
+              Array.of_list
+                (List.filter (fun j -> (not in_chunk.(j)) && j < i) all)
+            in
+            let final =
+              match explore_sub below with
+              | Some win -> win  (* index < i by construction *)
+              | None -> (i, o)
+            in
+            commit_win final
+          end
+        | None -> (
+          (* Nothing in the chunk survived. Remaining candidates the
+             model rules out ({!hopeless}) are skipped — the
+             rejection-round savings; the rest are scanned so a real
+             winner cannot be lost to a ranking mistake. *)
+          let keep, skipped =
+            List.partition
+              (fun j -> not (hopeless j))
+              (List.filter (fun j -> not in_chunk.(j)) all)
+          in
+          Surrogate.note_saved state (List.length skipped);
+          if keep <> [] then Surrogate.note_fallback state;
+          match explore_sub (Array.of_list keep) with
+          | None -> None
+          | Some (i2, o2) ->
+            let pred, trust = preds.(i2) in
+            let meas = measured_delta objective ~baseline o2.Speculate.ev in
+            if Float.abs (meas -. pred) > trust then
+              Surrogate.note_mispredict state ~key;
+            commit_win (i2, o2))
+      end
+    end
 
 let iterate config tree ~baseline ~objective plan =
   if config.Config.speculation < 0 then

@@ -158,10 +158,25 @@ let explore t candidates =
    picks the same winner. Serial mode exploits it by evaluating lazily
    (candidates after the winner never run — the legacy serial loop's
    schedule); parallel lanes evaluate a whole batch eagerly and discard
-   the precomputed losers, trading eval count for wall-clock. *)
-let explore_first t candidates ~accept =
+   the precomputed losers, trading eval count for wall-clock.
+
+   [measured] hands every evaluated outcome of the {e deterministic
+   prefix} — the candidates the serial lazy scan would also evaluate:
+   everything up to and including the winner — back to the caller, in
+   index order, on the caller's thread. Losing evaluations become
+   surrogate training data instead of pure waste. Eagerly precomputed
+   losers {e beyond} the winner exist only at widths > 1, so feeding
+   them would make the calibration state width-dependent; they stay
+   unfed, keeping the model a pure function of candidate order.
+
+   [lazy_only] forces the serial lazy scan on the main lane even when
+   replica lanes exist — the width-independent schedule surrogate
+   warm-up rounds need (every width then runs — and measures — exactly
+   the width-1 evaluation sequence). *)
+let explore_first ?measured ?(lazy_only = false) t candidates ~accept =
   let k = Array.length candidates in
   let result = ref None in
+  let feed i o = match measured with Some f -> f i o | None -> () in
   let pool =
     lazy
       (match t.pool with Some p -> p | None -> Domain_pool.global ())
@@ -171,14 +186,17 @@ let explore_first t candidates ~accept =
      scan on the main lane is the same winner for strictly fewer
      evaluations. *)
   if
-    Array.length t.slots = 0 || Domain_pool.size (Lazy.force pool) = 0
+    lazy_only || Array.length t.slots = 0
+    || Domain_pool.size (Lazy.force pool) = 0
   then begin
     let i = ref 0 in
     while !result = None && !i < k do
       (match run_candidate t.main t.main_hooks serial_bypass candidates.(!i)
        with
-      | Some o when accept o -> result := Some (!i, o)
-      | _ -> ());
+      | Some o ->
+        feed !i o;
+        if accept o then result := Some (!i, o)
+      | None -> ());
       incr i
     done
   end
@@ -203,8 +221,10 @@ let explore_first t candidates ~accept =
         (fun i r ->
           if !result = None then
             match r with
-            | Some o when accept o -> result := Some (!start + i, o)
-            | _ -> ())
+            | Some o ->
+              feed (!start + i) o;
+              if accept o then result := Some (!start + i, o)
+            | None -> ())
         results;
       start := !start + count
     done

@@ -88,8 +88,21 @@ val explore : t -> (Tree.t -> unit) array -> outcome option array
     precomputed losers. A context whose domain pool has no workers (a
     single-core machine) falls back to the lazy scan — eager batches
     without concurrency only waste evaluations. Same lane-restoration
-    contract as {!explore}. *)
+    contract as {!explore}.
+
+    [measured] receives every evaluated outcome of the deterministic
+    prefix (the candidates the serial scan would evaluate: everything
+    up to and including the winner), in index order, on the caller's
+    thread — so losing evaluations feed the surrogate calibration
+    buffer instead of being discarded. Eager losers beyond the winner
+    exist only at widths > 1 and are deliberately {e not} fed: feeding
+    them would make the calibration state width-dependent.
+
+    [lazy_only] (default false) forces the serial lazy scan on the main
+    lane even when replica lanes exist — the machine-independent
+    schedule surrogate warm-up rounds require. *)
 val explore_first :
+  ?measured:(int -> outcome -> unit) -> ?lazy_only:bool ->
   t -> (Tree.t -> unit) array -> accept:(outcome -> bool) ->
   (int * outcome) option
 

@@ -69,6 +69,8 @@ type completed = {
   cap_pct : float;
   buffers : int;
   eval_runs : int;
+  store_hits : int;
+  store_misses : int;
   digest : int64;
 }
 
@@ -169,7 +171,7 @@ let incident_line ~name i =
 (* Per-instance execution with fault isolation                         *)
 (* ------------------------------------------------------------------ *)
 
-let run_one ~timeout ~config ~resume (spec, trace_path, checkpoint_dir) =
+let run_one ~timeout ~config ~store ~resume (spec, trace_path, checkpoint_dir) =
   let name = spec_name spec in
   (* The per-instance budget lives on the monotonic clock — the scale
      {!Core.Config.deadline} is defined on — so a wall-clock jump (NTP
@@ -238,7 +240,15 @@ let run_one ~timeout ~config ~resume (spec, trace_path, checkpoint_dir) =
           (try spin () with Core.Ivc.Deadline_exceeded -> ());
           finish (timed_out ()))
       | Bench b -> (
-        let config = { config with Core.Config.deadline } in
+        (* Each instance gets its own handle onto the suite-shared store,
+           so the hit/miss counters below are exactly this instance's
+           cross-instance reuse (handles share tables, not counters). *)
+        let handle = Option.map Ev.Store.handle store in
+        let config =
+          match handle with
+          | Some h -> { config with Core.Config.deadline; store = Some h }
+          | None -> { config with Core.Config.deadline }
+        in
         let on_step e =
           steps := e :: !steps;
           output_string oc (Json.to_compact_string (trace_line ~name e));
@@ -322,6 +332,14 @@ let run_one ~timeout ~config ~resume (spec, trace_path, checkpoint_dir) =
                     else 100. *. stats.Ctree.Stats.total_cap /. cap_limit);
                  buffers = stats.Ctree.Stats.buffer_count;
                  eval_runs = r.Flow.eval_runs;
+                 store_hits =
+                   (match config.Core.Config.store with
+                   | Some h -> Ev.Store.hits h
+                   | None -> 0);
+                 store_misses =
+                   (match config.Core.Config.store with
+                   | Some h -> Ev.Store.misses h
+                   | None -> 0);
                  digest = Ctree.Tree.digest r.Flow.tree;
                })
         with
@@ -355,6 +373,15 @@ let run ?(out_dir = "bench_out") ?timeout ?jobs ?(config = Core.Config.default)
          specs)
   in
   let pool = Analysis.Domain_pool.create ?size:jobs () in
+  (* One stage-result store shared across the whole suite: instances with
+     overlapping subtrees (or a resumed re-run) answer each other's stage
+     solves. Entries are content-keyed, so instances of different sizes
+     or techs coexist safely — they just never collide. A caller that
+     already threads its own store handle (the serve daemon) keeps it. *)
+  let store =
+    if config.Core.Config.store = None then Some (Ev.Store.create ())
+    else None
+  in
   let reports =
     Fun.protect
       ~finally:(fun () -> Analysis.Domain_pool.shutdown pool)
@@ -363,7 +390,7 @@ let run ?(out_dir = "bench_out") ?timeout ?jobs ?(config = Core.Config.default)
            tail of the suite from waiting on the biggest benchmark. *)
         Analysis.Domain_pool.map_weighted pool
           ~weight:(fun (spec, _, _) -> spec_sinks spec)
-          (run_one ~timeout ~config ~resume)
+          (run_one ~timeout ~config ~store ~resume)
           jobs_arr)
   in
   { reports = Array.to_list reports; seconds = Core.Monoclock.now () -. t0;
@@ -424,6 +451,8 @@ let instance_json r =
         ("cap_pct", Json.Num c.cap_pct);
         ("buffers", Json.Num (float_of_int c.buffers));
         ("eval_runs", Json.Num (float_of_int c.eval_runs));
+        ("store_hits", Json.Num (float_of_int c.store_hits));
+        ("store_misses", Json.Num (float_of_int c.store_misses));
         ("tree_digest", Json.Str (Printf.sprintf "%016Lx" c.digest));
       ]
     | Failed { detail; _ } -> [ ("detail", Json.Str detail) ]
@@ -440,6 +469,14 @@ let to_json result =
   let completed =
     List.length result.reports - List.length (failures result)
   in
+  let store_hits, store_misses =
+    List.fold_left
+      (fun (h, m) r ->
+        match r.status with
+        | Completed c -> (h + c.store_hits, m + c.store_misses)
+        | Failed _ -> (h, m))
+      (0, 0) result.reports
+  in
   Json.Obj
     [
       ("suite",
@@ -450,6 +487,8 @@ let to_json result =
            ("completed", Json.Num (float_of_int completed));
            ("failed",
             Json.Num (float_of_int (List.length (failures result))));
+           ("store_hits", Json.Num (float_of_int store_hits));
+           ("store_misses", Json.Num (float_of_int store_misses));
          ]);
       ("instances", Json.List (List.map instance_json result.reports));
     ]

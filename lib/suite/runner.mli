@@ -62,6 +62,13 @@ type completed = {
   cap_pct : float;  (** total cap as % of the limit; [nan] if unlimited *)
   buffers : int;
   eval_runs : int;
+  store_hits : int;
+      (** stage solves this instance answered from the suite-shared
+          {!Analysis.Evaluator.Store} (each instance gets its own handle
+          onto one store created per {!run}, unless the caller already
+          supplied [config.store]); summed across instances in the
+          suite.json header *)
+  store_misses : int;
   digest : int64;
       (** {!Ctree.Tree.digest} of the final tree — the bit-identity
           witness behind kill-and-resume equivalence checks (emitted as

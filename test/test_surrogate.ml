@@ -1,0 +1,217 @@
+(* Calibrated surrogate ranking: OLS refit correctness against a
+   closed-form fixture, ring-buffer recency, widening dynamics, the
+   off-mode bit-identity guarantee, the width-independence of the
+   ranked schedule, and the eval-budget/accuracy contract of ranking
+   against the unranked lazy search. *)
+
+module Tree = Ctree.Tree
+module Ev = Analysis.Evaluator
+module Surrogate = Analysis.Surrogate
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_near tol = Alcotest.(check (float tol))
+
+(* ---------- OLS closed-form fixture ---------- *)
+
+(* Samples generated exactly from a known linear law must be recovered
+   exactly (up to the tiny conditioning ridge): the residual of a
+   consistent over-determined system is zero, so the minimiser is the
+   generating coefficient vector itself. *)
+let test_ols_fixture () =
+  let beta_true = [| 2.0; -3.0; 0.5; 0.0; 1.0; 0.0; 0.0; -1.0 |] in
+  let bias_true = 0.25 in
+  let rng = Suite.Rng.create 77 in
+  let samples =
+    Array.init 24 (fun _ ->
+        let x =
+          Array.init Surrogate.dim (fun _ ->
+              (Suite.Rng.float rng *. 4.) -. 2.)
+        in
+        let y =
+          bias_true
+          +. Array.fold_left ( +. ) 0.
+               (Array.mapi (fun j b -> b *. x.(j)) beta_true)
+        in
+        (x, y))
+  in
+  let beta = Surrogate.ols samples in
+  check_int "one coefficient per feature plus bias" (Surrogate.dim + 1)
+    (Array.length beta);
+  Array.iteri
+    (fun j b ->
+      check_near 1e-4 (Printf.sprintf "coefficient %d recovered" j) b
+        beta.(j))
+    beta_true;
+  check_near 1e-4 "bias recovered (last slot)" bias_true
+    beta.(Surrogate.dim)
+
+(* ---------- ring-buffer recency ---------- *)
+
+(* After the generating law changes, a full window of fresh samples must
+   displace the stale ones: the ring holds only the most recent
+   [capacity] observations, so the refit tracks the new law. *)
+let test_ring_recency () =
+  let t = Surrogate.create () in
+  let key = "ring-test" in
+  let sample x0 = Array.init Surrogate.dim (fun j -> if j = 0 then x0 else 0.) in
+  for i = 1 to 100 do
+    let x0 = float_of_int (i mod 17) in
+    Surrogate.observe t ~key (sample x0) x0
+  done;
+  (* More than one full window of the new law: the most recent refit
+     must fit a window that holds new-regime samples only. *)
+  for i = 1 to 72 do
+    let x0 = float_of_int (i mod 13) in
+    Surrogate.observe t ~key (sample x0) ((2. *. x0) +. 1.)
+  done;
+  match Surrogate.predict t ~key (sample 10.) with
+  | None -> Alcotest.fail "model still cold after 164 observations"
+  | Some (pred, trust) ->
+    check_near 0.5 "prediction follows the recent regime" 21. pred;
+    check_bool "trust radius is finite" true (Float.is_finite trust)
+
+(* ---------- widening dynamics and the audit schedule ---------- *)
+
+let test_widening_and_audit () =
+  let t = Surrogate.create () in
+  let key = "widen-test" in
+  check_int "widening starts at zero" 0 (Surrogate.widening t ~key);
+  Surrogate.note_mispredict t ~key;
+  Surrogate.note_mispredict t ~key;
+  check_int "each mispredict widens by one" 2 (Surrogate.widening t ~key);
+  Surrogate.note_intrust t ~key;
+  check_int "an in-trust win decays the widening" 1
+    (Surrogate.widening t ~key);
+  Surrogate.note_intrust t ~key;
+  Surrogate.note_intrust t ~key;
+  check_int "decay floors at zero" 0 (Surrogate.widening t ~key);
+  let fired = ref [] in
+  for i = 1 to 16 do
+    if Surrogate.audit_hopeless t then fired := i :: !fired
+  done;
+  Alcotest.(check (list int))
+    "audit fires on exactly every 8th hopeless round" [ 16; 8 ]
+    !fired
+
+(* ---------- flow-level oracles ---------- *)
+
+let run_flow ~surrogate ~speculation b =
+  let config =
+    { Core.Config.scalability with
+      Core.Config.surrogate;
+      speculation;
+      rank_top = 0 }
+  in
+  Core.Flow.run ~config ~tech:b.Suite.Format_io.tech
+    ~source:b.Suite.Format_io.source
+    ~obstacles:b.Suite.Format_io.obstacles b.Suite.Format_io.sinks
+
+(* surrogate = off must reproduce the unranked flow bit for bit — the
+   flag alone (feature probes, state creation) cannot perturb anything. *)
+let test_off_bit_identity () =
+  let b = Suite.Runner.load_bench "ti:200" in
+  let r1 = run_flow ~surrogate:false ~speculation:1 b in
+  let r2 = run_flow ~surrogate:false ~speculation:1 b in
+  check_bool "off-mode runs are bit-identical" true
+    (Tree.digest r1.Core.Flow.tree = Tree.digest r2.Core.Flow.tree);
+  check_int "off-mode eval counts are deterministic"
+    r1.Core.Flow.eval_runs r2.Core.Flow.eval_runs;
+  check_bool "off-mode run carries no surrogate stats" true
+    (r1.Core.Flow.surrogate = None)
+
+(* The ranked schedule is a pure function of (model state, features,
+   measured results) — never of the speculation width — so surrogate-on
+   runs must agree bit for bit AND eval for eval at widths 1 and 4. *)
+let test_on_width_independence () =
+  let b = Suite.Runner.load_bench "ti:200" in
+  let r1 = run_flow ~surrogate:true ~speculation:1 b in
+  let r4 = run_flow ~surrogate:true ~speculation:4 b in
+  check_bool "ranked trees bit-identical across widths" true
+    (Tree.digest r1.Core.Flow.tree = Tree.digest r4.Core.Flow.tree);
+  check_int "ranked eval counts identical across widths"
+    r1.Core.Flow.eval_runs r4.Core.Flow.eval_runs
+
+(* Ranking must save evaluations and stay within the quality tolerance
+   of the unranked search (it may converge to a nearby optimum). *)
+let test_on_vs_off_budget () =
+  let b = Suite.Runner.load_bench "ti:500" in
+  let off = run_flow ~surrogate:false ~speculation:1 b in
+  let on = run_flow ~surrogate:true ~speculation:1 b in
+  check_bool "ranking does not cost extra evaluations" true
+    (on.Core.Flow.eval_runs <= off.Core.Flow.eval_runs);
+  let tol = 0.5 in
+  check_bool "final skew within tolerance of unranked" true
+    (on.Core.Flow.final.Ev.skew
+     <= off.Core.Flow.final.Ev.skew +. tol);
+  check_bool "final CLR within tolerance of unranked" true
+    (on.Core.Flow.final.Ev.clr <= off.Core.Flow.final.Ev.clr +. tol);
+  match on.Core.Flow.surrogate with
+  | None -> Alcotest.fail "surrogate-on run lost its stats"
+  | Some s ->
+    check_bool "calibration observed measured pairs" true
+      Surrogate.(s.observations > 0);
+    check_bool "some rounds went through ranking" true
+      Surrogate.(s.ranked_rounds > 0)
+
+(* ---------- suite store-hit reporting ---------- *)
+
+let test_suite_store_hits () =
+  let out_dir = Filename.concat (Filename.get_temp_dir_name ()) "surro_suite" in
+  let config = { Core.Config.scalability with Core.Config.speculation = 1 } in
+  let r =
+    Suite.Runner.run ~out_dir ~jobs:0 ~config
+      [ Suite.Runner.spec_of_string "ti:60"; Suite.Runner.spec_of_string "ti:60" ]
+  in
+  let completed =
+    List.filter_map
+      (fun (ir : Suite.Runner.instance_report) ->
+        match ir.Suite.Runner.status with
+        | Suite.Runner.Completed c -> Some c
+        | Suite.Runner.Failed _ -> None)
+      r.Suite.Runner.reports
+  in
+  check_int "both instances completed" 2 (List.length completed);
+  let hits =
+    List.fold_left (fun a c -> a + c.Suite.Runner.store_hits) 0 completed
+  in
+  let misses =
+    List.fold_left (fun a c -> a + c.Suite.Runner.store_misses) 0 completed
+  in
+  check_bool "identical twin instance hits the shared store" true (hits > 0);
+  check_bool "store counters track traffic" true (hits + misses > 0);
+  let json = Suite.Report.Json.to_string (Suite.Runner.to_json r) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "suite.json reports store hits" true
+    (contains json "\"store_hits\"")
+
+let () =
+  Alcotest.run "surrogate"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "OLS closed-form fixture" `Quick
+            test_ols_fixture;
+          Alcotest.test_case "ring-buffer recency" `Quick test_ring_recency;
+          Alcotest.test_case "widening decay and audit schedule" `Quick
+            test_widening_and_audit;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "surrogate off is bit-identical" `Quick
+            test_off_bit_identity;
+          Alcotest.test_case "ranked schedule is width-independent" `Quick
+            test_on_width_independence;
+          Alcotest.test_case "ranking saves evals within tolerance" `Quick
+            test_on_vs_off_budget;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "store hits reported per instance" `Quick
+            test_suite_store_hits;
+        ] );
+    ]
