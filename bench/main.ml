@@ -1157,7 +1157,7 @@ let serve_bench () =
   let run_request spec =
     match
       Serve.Client.oneshot addr
-        (Serve.Protocol.Run { spec; timeout_s = Some 120. })
+        (Serve.Protocol.Run { spec; timeout_s = Some 120.; request_key = None })
     with
     | Ok (Serve.Protocol.Completed { body; _ }) -> body
     | Ok (Serve.Protocol.Busy _) -> failwith "serve_bench: unexpected Busy"

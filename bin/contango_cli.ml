@@ -693,18 +693,55 @@ let serve_cmd =
     Arg.(value & opt (some engine_conv) None
          & info [ "engine" ] ~doc:"Evaluation engine: spice (boxed reference), flat (streaming flat-arena kernel), arnoldi, elmore.")
   in
-  let run socket port max_queue workers engine seg_len speculation regions
-      regional stitch_skew =
+  let conn_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "conn-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-connection read deadline: a connection idle (or \
+                   stuck mid-frame) for longer is closed. Default: no \
+                   deadline.")
+  in
+  let max_conns =
+    Arg.(value & opt int 0
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Cap on concurrent connections; at the cap the oldest \
+                   idle connection is evicted (or, when every connection \
+                   is mid-request, the new one is rejected busy). 0 = \
+                   unbounded.")
+  in
+  let chaos =
+    Arg.(value & opt (some string) None
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:"Seeded fault-injection spec, e.g. \
+                   $(b,seed=7,drop_pre=0.1,frame_garbage=0.05\\@3,job_crash=0.02). \
+                   Faults fire deterministically from the seed and are \
+                   counted in the stats op.")
+  in
+  let checkpoints =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoints" ] ~docv:"DIR"
+             ~doc:"Write verified per-stage checkpoints for every run \
+                   request under $(docv)/<spec>/.")
+  in
+  let run socket port max_queue workers conn_timeout_s max_conns chaos
+      checkpoints engine seg_len speculation regions regional stitch_skew =
     let config =
       config_of ?speculation ?seg_len ?regions ~regional ?stitch_skew ~engine
         ()
     in
+    let config = { config with Core.Config.chaos } in
     let server =
-      Serve.Server.create ~config ~max_queue ?workers (sockaddr_of socket port)
+      try
+        Serve.Server.create ~config ~max_queue ?workers ?conn_timeout_s
+          ~max_conns ?checkpoints (sockaddr_of socket port)
+      with Invalid_argument msg ->
+        Printf.eprintf "contango: %s\n" msg;
+        exit 2
     in
-    Printf.printf "contango serve: listening on %s (max-queue %d)\n%!"
+    Printf.printf "contango serve: listening on %s (max-queue %d%s)\n%!"
       (sockaddr_string (Serve.Server.sockaddr server))
-      max_queue;
+      max_queue
+      (if Serve.Chaos.is_active (Serve.Server.chaos server) then ", chaos on"
+       else "");
     Serve.Server.serve server;
     print_endline "contango serve: shut down cleanly"
   in
@@ -712,8 +749,11 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the long-lived daemon: concurrent synthesis/evaluation \
              requests over a Unix/TCP socket, with cross-request cache \
-             reuse, bounded-queue backpressure and per-request deadlines.")
-    Term.(const run $ socket_arg $ port_arg $ max_queue $ workers $ engine
+             reuse, bounded-queue backpressure, per-request deadlines, \
+             connection lifecycle hardening and optional seeded fault \
+             injection.")
+    Term.(const run $ socket_arg $ port_arg $ max_queue $ workers
+          $ conn_timeout $ max_conns $ chaos $ checkpoints $ engine
           $ seg_len_arg $ speculate_arg $ regions_arg $ regional_arg
           $ stitch_skew_arg)
 
@@ -736,7 +776,22 @@ let client_cmd =
                    counts). The server answers a structured deadline error \
                    once it passes.")
   in
-  let run socket port op arg timeout_s =
+  let request_key =
+    Arg.(value & opt (some string) None
+         & info [ "request-key" ] ~docv:"KEY"
+             ~doc:"Idempotency key for run/eval: the daemon answers a \
+                   repeated key from its cache instead of recomputing. \
+                   With $(b,--retries), one is generated automatically.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry the request up to $(docv) extra times with \
+                   jittered exponential backoff, honouring the daemon's \
+                   retry-after hint on busy. Run/eval retries reuse one \
+                   idempotency key, so the work happens at most once.")
+  in
+  let run socket port op arg timeout_s request_key retries =
     let addr = sockaddr_of socket port in
     let needs_spec what =
       match arg with
@@ -747,8 +802,12 @@ let client_cmd =
     in
     let request =
       match op with
-      | "run" -> Serve.Protocol.Run { spec = needs_spec "run"; timeout_s }
-      | "eval" -> Serve.Protocol.Eval { spec = needs_spec "eval"; timeout_s }
+      | "run" ->
+        Serve.Protocol.Run
+          { spec = needs_spec "run"; timeout_s; request_key }
+      | "eval" ->
+        Serve.Protocol.Eval
+          { spec = needs_spec "eval"; timeout_s; request_key }
       | "sleep" ->
         let seconds =
           match Option.bind arg float_of_string_opt with
@@ -765,7 +824,23 @@ let client_cmd =
         Printf.eprintf "contango: unknown client op %S\n" other;
         exit 2
     in
-    match Serve.Client.oneshot addr request with
+    let exchange addr req =
+      if retries > 0 then Serve.Client.request_with_retry ~retries addr req
+      else Serve.Client.oneshot addr req
+    in
+    match exchange addr request with
+    | exception Unix.Unix_error (e, _, _)
+      when request = Serve.Protocol.Shutdown
+           && (e = Unix.ENOENT || e = Unix.ECONNREFUSED) ->
+      (* Stopping a daemon that is not running is the requested end
+         state. This also covers a retried shutdown whose first answer
+         was lost: the daemon honoured the request, unlinked its socket
+         and the retry finds nothing to talk to. *)
+      print_endline
+        (Suite.Report.Json.to_compact_string
+           (Serve.Protocol.encode_response
+              (Serve.Protocol.Completed
+                 { op = "shutdown"; body = Serve.Protocol.Json.Null })))
     | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "contango: cannot reach %s: %s\n" (sockaddr_string addr)
         (Unix.error_message e);
@@ -788,7 +863,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send one request to a running contango serve daemon and print \
              the JSON response.")
-    Term.(const run $ socket_arg $ port_arg $ op $ arg $ timeout)
+    Term.(const run $ socket_arg $ port_arg $ op $ arg $ timeout
+          $ request_key $ retries)
 
 let () =
   let info =

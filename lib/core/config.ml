@@ -29,6 +29,7 @@ type t = {
   regions : int;
   stitch_skew_ps : float;
   inject_numerical_failures : int;
+  chaos : string option;
   debug : bool;
   surrogate : bool;
   rank_top : int;
@@ -75,6 +76,7 @@ let default =
     regions = 1;
     stitch_skew_ps = 1.0;
     inject_numerical_failures = 0;
+    chaos = None;
     debug = debug_env;
     surrogate = false;
     rank_top = 0;

@@ -115,6 +115,12 @@ type t = {
           evaluation, the first [n] evaluations raise
           {!Analysis.Numerics.Numerical_failure} instead of returning.
           [0] (the default) injects nothing *)
+  chaos : string option;
+      (** fault-injection spec for the serve daemon's chaos harness
+          (see {!Serve.Chaos} for the grammar — e.g.
+          ["seed=7,eintr=0.2,drop_pre=1@1"]). Carried here so one config
+          record describes a whole daemon; [None] (the default) injects
+          nothing. Ignored by the one-shot flow entry points *)
   debug : bool;
       (** per-IVC-decision logging on stderr. Defaults to whether
           [CONTANGO_DEBUG] was set at startup; the suite runner can flip

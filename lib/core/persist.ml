@@ -15,6 +15,40 @@ let fnv1a s =
     s;
   !h
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Chaos drills ask "what does a dying disk do to the daemon?" without a
+   dying disk: an installed injector is consulted once per atomic write
+   and can make that write fail at any of the three points a real crash
+   can hit — the data write itself (leaving a torn temp file), the
+   fsync, or the rename. The injector runs process-wide (persistence is
+   a process-wide resource) and the contract it must uphold is the
+   module's own: the destination keeps its old content whenever the
+   write fails, whichever point failed. *)
+
+type fault =
+  | Fail_fsync   (* fsync raises EIO: data may not be durable *)
+  | Fail_rename  (* rename raises: the snapshot never lands *)
+  | Torn_tmp     (* the process "dies" mid-write: half the bytes land *)
+
+exception Injected_fault of fault
+
+let fault_name = function
+  | Fail_fsync -> "fsync"
+  | Fail_rename -> "rename"
+  | Torn_tmp -> "torn-tmp"
+
+let injector : (path:string -> fault option) option Atomic.t =
+  Atomic.make None
+
+let set_fault_injector f = Atomic.set injector (Some f)
+let clear_fault_injector () = Atomic.set injector None
+
+let injected_fault ~path =
+  match Atomic.get injector with None -> None | Some f -> f ~path
+
 let rec mkdir_p dir =
   if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
   then begin
@@ -24,6 +58,7 @@ let rec mkdir_p dir =
   end
 
 let write_atomic path content =
+  let fault = injected_fault ~path in
   let dir = Filename.dirname path in
   mkdir_p dir;
   let tmp, oc =
@@ -32,18 +67,33 @@ let write_atomic path content =
       ".tmp"
   in
   (try
-     output_string oc content;
+     (match fault with
+     | Some Torn_tmp ->
+       (* A crash mid-write: only a prefix reaches the temp file, and
+          nothing after it runs. The cleanup below still removes the
+          torn file; what matters is that [path] never sees it. *)
+       output_string oc (String.sub content 0 (String.length content / 2));
+       flush oc;
+       raise (Injected_fault Torn_tmp)
+     | Some _ | None -> output_string oc content);
      flush oc;
-     Unix.fsync (Unix.descr_of_out_channel oc);
+     (match fault with
+     | Some Fail_fsync -> raise (Injected_fault Fail_fsync)
+     | _ -> Unix.fsync (Unix.descr_of_out_channel oc));
      close_out oc
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  try Sys.rename tmp path
-  with e ->
+  match fault with
+  | Some Fail_rename ->
     (try Sys.remove tmp with Sys_error _ -> ());
-    raise e
+    raise (Injected_fault Fail_rename)
+  | _ -> (
+    try Sys.rename tmp path
+    with e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e)
 
 (* The trailer is fixed-width ("#fnv1a " + 16 hex digits + \n = 24
    bytes) so [read_checked] can strip it without parsing the payload. *)

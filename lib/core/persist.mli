@@ -5,6 +5,33 @@
 (** 64-bit FNV-1a hash of a string. *)
 val fnv1a : string -> int64
 
+(** Injectable disk faults for chaos drills. An installed injector is
+    consulted once per {!write_atomic} call and can fail it at any point
+    a real crash can: mid-data-write (a torn temp file), at the fsync,
+    or at the rename. Whatever the point, the module's atomicity
+    contract holds — the destination keeps its old content and the temp
+    file is removed. *)
+type fault =
+  | Fail_fsync   (** fsync fails: data may not be durable *)
+  | Fail_rename  (** rename fails: the snapshot never lands *)
+  | Torn_tmp     (** crash mid-write: only a prefix reaches the temp file *)
+
+(** Raised by a faulted {!write_atomic} (after cleanup). *)
+exception Injected_fault of fault
+
+(** Short stable name of a fault class ("fsync" / "rename" / "torn-tmp"),
+    for counters and logs. *)
+val fault_name : fault -> string
+
+(** Install a process-wide injector: called with the destination path of
+    every atomic write; returning [Some fault] makes that write fail.
+    The injector may be called from any domain — it must be
+    thread-safe. *)
+val set_fault_injector : (path:string -> fault option) -> unit
+
+(** Remove the installed injector (no-op when none is installed). *)
+val clear_fault_injector : unit -> unit
+
 (** [mkdir_p dir] creates [dir] and its missing ancestors. *)
 val mkdir_p : string -> unit
 

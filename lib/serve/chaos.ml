@@ -1,0 +1,278 @@
+(* Seeded fault injection for the serve stack.
+
+   A chaos spec is a comma-separated list of [fault=p] or [fault=p@n]
+   assignments: [p] is the per-opportunity injection probability, [n] an
+   optional budget (at most [n] injections over the daemon's life —
+   [drop_pre=1@1] deterministically kills exactly the first response).
+   Decisions come from a splitmix64 stream over (seed, decision index),
+   so a fixed seed reproduces the same fault mix statistically — and
+   exactly, under a serial request schedule. Every injection increments
+   a per-class counter surfaced through the daemon's [stats] op, so a
+   chaos run can assert both that faults actually fired and that the
+   containment contract held. *)
+
+module Json = Suite.Report.Json
+
+exception Injected of string
+
+(* ------------------------------------------------------------------ *)
+(* One fault class: probability, optional budget, counter              *)
+(* ------------------------------------------------------------------ *)
+
+type knob = {
+  p : float;
+  budget : int;  (* -1 = unlimited *)
+  fired : int Atomic.t;
+}
+
+let knob_off = { p = 0.; budget = -1; fired = Atomic.make 0 }
+let knob p budget = { p; budget; fired = Atomic.make 0 }
+
+type t = {
+  seed : int;
+  stall_s : float;    (* duration of one injected stall *)
+  short_bytes : int;  (* cap of one injected short write *)
+  frame_garbage : knob;
+  frame_truncate : knob;
+  frame_oversize : knob;
+  stall : knob;
+  drop_pre : knob;
+  drop_post : knob;
+  eintr : knob;
+  short_write : knob;
+  job_crash : knob;
+  persist : knob;
+  (* Decision index: every probabilistic draw consumes one slot of the
+     splitmix64 stream. *)
+  draws : int Atomic.t;
+}
+
+let none =
+  {
+    seed = 0;
+    stall_s = 0.05;
+    short_bytes = 1;
+    frame_garbage = knob_off;
+    frame_truncate = knob_off;
+    frame_oversize = knob_off;
+    stall = knob_off;
+    drop_pre = knob_off;
+    drop_post = knob_off;
+    eintr = knob_off;
+    short_write = knob_off;
+    job_crash = knob_off;
+    persist = knob_off;
+    draws = Atomic.make 0;
+  }
+
+let is_active t =
+  List.exists
+    (fun k -> k.p > 0.)
+    [
+      t.frame_garbage; t.frame_truncate; t.frame_oversize; t.stall;
+      t.drop_pre; t.drop_post; t.eintr; t.short_write; t.job_crash;
+      t.persist;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Spec grammar                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse spec =
+  let t = ref { none with draws = Atomic.make 0 } in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse_knob v =
+    (* "p" or "p@n" *)
+    match String.index_opt v '@' with
+    | None -> (
+      match float_of_string_opt v with
+      | Some p when p >= 0. && p <= 1. -> Ok (knob p (-1))
+      | _ -> Error ())
+    | Some i -> (
+      let ps = String.sub v 0 i in
+      let ns = String.sub v (i + 1) (String.length v - i - 1) in
+      match (float_of_string_opt ps, int_of_string_opt ns) with
+      | Some p, Some n when p >= 0. && p <= 1. && n >= 0 -> Ok (knob p n)
+      | _ -> Error ())
+  in
+  let step entry =
+    match String.index_opt entry '=' with
+    | None -> err "chaos: %S is not a key=value assignment" entry
+    | Some i -> (
+      let key = String.sub entry 0 i in
+      let v = String.sub entry (i + 1) (String.length entry - i - 1) in
+      let set f =
+        match parse_knob v with
+        | Ok k ->
+          t := f !t k;
+          Ok ()
+        | Error () ->
+          err "chaos: %s needs a probability in [0,1], optionally @budget \
+               (got %S)" key v
+      in
+      match key with
+      | "seed" -> (
+        match int_of_string_opt v with
+        | Some s ->
+          t := { !t with seed = s };
+          Ok ()
+        | None -> err "chaos: seed needs an integer (got %S)" v)
+      | "stall_s" -> (
+        match float_of_string_opt v with
+        | Some s when s >= 0. ->
+          t := { !t with stall_s = s };
+          Ok ()
+        | _ -> err "chaos: stall_s needs a non-negative number (got %S)" v)
+      | "short_bytes" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+          t := { !t with short_bytes = n };
+          Ok ()
+        | _ -> err "chaos: short_bytes needs a positive integer (got %S)" v)
+      | "frame_garbage" -> set (fun t k -> { t with frame_garbage = k })
+      | "frame_truncate" -> set (fun t k -> { t with frame_truncate = k })
+      | "frame_oversize" -> set (fun t k -> { t with frame_oversize = k })
+      | "stall" -> set (fun t k -> { t with stall = k })
+      | "drop_pre" -> set (fun t k -> { t with drop_pre = k })
+      | "drop_post" -> set (fun t k -> { t with drop_post = k })
+      | "eintr" -> set (fun t k -> { t with eintr = k })
+      | "short_write" -> set (fun t k -> { t with short_write = k })
+      | "job_crash" -> set (fun t k -> { t with job_crash = k })
+      | "persist" -> set (fun t k -> { t with persist = k })
+      | _ -> err "chaos: unknown fault %S" key)
+  in
+  let rec go = function
+    | [] -> Ok !t
+    | e :: rest -> ( match step e with Ok () -> go rest | Error _ as r -> r)
+  in
+  go entries
+
+(* ------------------------------------------------------------------ *)
+(* Seeded decisions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* splitmix64: the standard 64-bit finalizer — uniform enough for fault
+   scheduling and dependency-free. *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9e3779b97f4a7c15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let uniform t =
+  let i = Atomic.fetch_and_add t.draws 1 in
+  let bits =
+    splitmix64 (Int64.logxor (Int64.of_int t.seed) (Int64.of_int (i * 2 + 1)))
+  in
+  (* 53 mantissa bits -> [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical bits 11) /. 9007199254740992.
+
+(* One injection opportunity for [k]: flip the seeded coin, respect the
+   budget, count the hit. *)
+let fires t k =
+  k.p > 0.
+  && uniform t < k.p
+  &&
+  if k.budget < 0 then begin
+    Atomic.incr k.fired;
+    true
+  end
+  else begin
+    let n = Atomic.fetch_and_add k.fired 1 in
+    if n < k.budget then true
+    else begin
+      Atomic.decr k.fired;
+      false
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Boundary hooks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Frame-I/O faults for the daemon's reads and writes. One decision per
+   syscall; EINTR wins over a stall over a short write so the storms
+   compose deterministically from the same stream. *)
+let io_faults t =
+  if t.eintr.p <= 0. && t.stall.p <= 0. && t.short_write.p <= 0. then None
+  else
+    Some
+      {
+        Protocol.on_io =
+          (fun dir ->
+            if fires t t.eintr then Some Protocol.Fault_eintr
+            else if fires t t.stall then Some (Protocol.Fault_stall t.stall_s)
+            else
+              match dir with
+              | `Write when fires t t.short_write ->
+                Some (Protocol.Fault_short t.short_bytes)
+              | `Write | `Read -> None);
+      }
+
+(* What to do with one outgoing response frame. *)
+type write_plan =
+  | Deliver
+  | Drop_before   (* close without writing: the peer sees a clean EOF *)
+  | Drop_after    (* write, then close: the exchange lands, the conn dies *)
+  | Garbage       (* well-framed garbage payload: unparseable JSON *)
+  | Truncate      (* header + half the payload, then close: a torn frame *)
+  | Oversize      (* header claiming > max_frame: the peer must reject it *)
+
+let plan_response t =
+  if fires t t.drop_pre then Drop_before
+  else if fires t t.frame_garbage then Garbage
+  else if fires t t.frame_truncate then Truncate
+  else if fires t t.frame_oversize then Oversize
+  else if fires t t.drop_post then Drop_after
+  else Deliver
+
+(* Should this dispatched job die on a worker domain? *)
+let job_crashes t = fires t t.job_crash
+
+(* Install the persist-layer hook: every atomic write is an opportunity,
+   and consecutive injections cycle through the three failure points so
+   one budget exercises them all. *)
+let install_persist t =
+  if t.persist.p > 0. then
+    Core.Persist.set_fault_injector (fun ~path:_ ->
+        if fires t t.persist then
+          Some
+            (match (Atomic.get t.persist.fired - 1) mod 3 with
+            | 0 -> Core.Persist.Fail_fsync
+            | 1 -> Core.Persist.Fail_rename
+            | _ -> Core.Persist.Torn_tmp)
+        else None)
+
+let uninstall_persist () = Core.Persist.clear_fault_injector ()
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let injected t =
+  [
+    ("frame_garbage", Atomic.get t.frame_garbage.fired);
+    ("frame_truncate", Atomic.get t.frame_truncate.fired);
+    ("frame_oversize", Atomic.get t.frame_oversize.fired);
+    ("stall", Atomic.get t.stall.fired);
+    ("drop_pre", Atomic.get t.drop_pre.fired);
+    ("drop_post", Atomic.get t.drop_post.fired);
+    ("eintr", Atomic.get t.eintr.fired);
+    ("short_write", Atomic.get t.short_write.fired);
+    ("job_crash", Atomic.get t.job_crash.fired);
+    ("persist", Atomic.get t.persist.fired);
+  ]
+
+let total_injected t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (injected t)
+
+let stats_json t =
+  Json.Obj
+    (("seed", Json.Num (float_of_int t.seed))
+    :: List.map (fun (k, n) -> (k, Json.Num (float_of_int n))) (injected t))

@@ -1,0 +1,72 @@
+(** Seeded, deterministic fault injection for the serve stack.
+
+    A chaos spec is a comma-separated list of [fault=p] or [fault=p\@n]
+    assignments: [p] the per-opportunity injection probability, [n] an
+    optional lifetime budget ([drop_pre=1\@1] kills exactly the first
+    response). Fault classes and their boundaries:
+
+    - [frame_garbage], [frame_truncate], [frame_oversize] — corrupt an
+      outgoing response frame ({!Protocol} boundary)
+    - [stall] (duration [stall_s]) — park the thread mid-frame
+    - [drop_pre], [drop_post] — close the connection before / after the
+      response write ({!Server} boundary)
+    - [eintr], [short_write] (cap [short_bytes]) — signal storms and
+      partial writes inside the frame I/O loops
+    - [job_crash] — a dispatched job raises on its worker domain
+    - [persist] — disk faults in {!Core.Persist} (failed fsync/rename,
+      torn tmp files, cycling)
+
+    Scalar knobs: [seed] (decision stream), [stall_s], [short_bytes].
+
+    Decisions come from a splitmix64 stream over (seed, decision index):
+    a fixed seed reproduces the same fault mix statistically, and
+    exactly under a serial schedule. Every injection is counted and
+    surfaced through the daemon's [stats] op. *)
+
+(** Raised by injected faults that simulate crashes (e.g. [job_crash]);
+    the argument names the fault class. *)
+exception Injected of string
+
+type t
+
+(** The spec that injects nothing (and costs nothing). *)
+val none : t
+
+(** Parse a chaos spec; [Error] explains the first bad assignment. *)
+val parse : string -> (t, string) result
+
+(** Whether any fault class has a nonzero probability. *)
+val is_active : t -> bool
+
+(** Frame-I/O fault hook for {!Protocol.read_frame}/[write_frame];
+    [None] when no I/O-level class is armed. *)
+val io_faults : t -> Protocol.faults option
+
+(** Fate of one outgoing response frame. *)
+type write_plan =
+  | Deliver
+  | Drop_before  (** close without writing — the peer sees a clean EOF *)
+  | Drop_after   (** write, then close — the exchange lands, the conn dies *)
+  | Garbage      (** well-framed unparseable payload *)
+  | Truncate     (** header + half the payload, then close — a torn frame *)
+  | Oversize     (** header claiming > {!Protocol.max_frame} *)
+
+val plan_response : t -> write_plan
+
+(** Whether this dispatched job should raise {!Injected} on its worker. *)
+val job_crashes : t -> bool
+
+(** Install the process-wide {!Core.Persist} fault hook (no-op when the
+    [persist] class is off). Consecutive injections cycle through
+    fsync / rename / torn-tmp failures. *)
+val install_persist : t -> unit
+
+val uninstall_persist : unit -> unit
+
+(** Per-class injection counters, stable order. *)
+val injected : t -> (string * int) list
+
+val total_injected : t -> int
+
+(** The counters as a [stats] sub-object (includes the seed). *)
+val stats_json : t -> Suite.Report.Json.t

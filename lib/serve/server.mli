@@ -8,20 +8,39 @@
     requests are queued-or-running at once, and requests over the bound
     are answered {!Protocol.Busy} with a retry hint instead of being
     enqueued. [Stats]/[Ping] are answered inline and are never subject to
-    backpressure, so a saturated daemon stays observable. *)
+    backpressure, so a saturated daemon stays observable.
+
+    Connection lifecycle hardening: reads are bounded by [conn_timeout_s]
+    (a silent peer cannot park a thread forever), the connection
+    population is bounded by [max_conns] with oldest-idle eviction,
+    SIGPIPE is ignored for the process (a vanished peer costs a counted
+    per-connection loss, never the daemon), and graceful shutdown closes
+    idle connections instead of waiting on them. Under an active
+    {!Chaos} spec the daemon injects faults at every boundary and counts
+    them in [stats]. *)
 
 type t
 
-(** [create ?config ?max_queue ?workers sockaddr] binds and listens but
-    does not accept yet. [config] (default {!Core.Config.default}) seeds
+(** [create ?config ?max_queue ?workers ?conn_timeout_s ?max_conns
+    ?chaos ?checkpoints ?idem_cap sockaddr] binds and listens but does
+    not accept yet. [config] (default {!Core.Config.default}) seeds
     every request's flow configuration; [max_queue] (default 16) bounds
     queued-plus-running requests; [workers] sizes the compute pool
     (default: one per spare core — 0 runs compute inline on connection
-    threads, the single-core degradation). Unix-domain socket paths are
-    unlinked before bind and after {!serve} returns.
-    @raise Unix.Unix_error when binding fails (address in use, bad path). *)
+    threads, the single-core degradation). [conn_timeout_s] bounds every
+    framed read (idle or mid-frame); [max_conns] (default 0 = unbounded)
+    caps concurrent connections, evicting the oldest idle connection —
+    or rejecting with [Busy] when all are mid-request. [chaos] overrides
+    the spec in [config.chaos] (parsed with {!Chaos.parse}).
+    [checkpoints] / [idem_cap] pass through to {!Session.create}.
+    Unix-domain socket paths are unlinked before bind and after
+    {!serve} returns.
+    @raise Unix.Unix_error when binding fails (address in use, bad path).
+    @raise Invalid_argument when [config.chaos] does not parse. *)
 val create :
   ?config:Core.Config.t -> ?max_queue:int -> ?workers:int ->
+  ?conn_timeout_s:float -> ?max_conns:int -> ?chaos:Chaos.t ->
+  ?checkpoints:string -> ?idem_cap:int ->
   Unix.sockaddr -> t
 
 (** The address actually bound — a TCP request for port 0 resolves to
@@ -30,9 +49,13 @@ val sockaddr : t -> Unix.sockaddr
 
 val session : t -> Session.t
 
+(** The active chaos spec ({!Chaos.none} when chaos is off). *)
+val chaos : t -> Chaos.t
+
 (** Accept and serve until a [Shutdown] request (or {!shutdown}) stops
-    the loop, then drain: in-flight requests finish (each bounded by its
-    own deadline), the pool joins, sockets close. Blocks the calling
+    the loop, then drain: idle connections are closed (a parked client
+    cannot wedge shutdown), in-flight requests finish (each bounded by
+    its own deadline), the pool joins, sockets close. Blocks the calling
     thread for the daemon's whole life. *)
 val serve : t -> unit
 

@@ -9,29 +9,107 @@
 module Ev = Analysis.Evaluator
 module Json = Suite.Report.Json
 
+(* Bounded LRU of completed responses keyed by the client's idempotency
+   key. A retry of a key the daemon already answered is served from here
+   — zero recomputation — which is what makes blind client retries after
+   a lost connection safe. Only [Completed] responses are remembered:
+   caching a transient failure would make every retry of that key fail
+   forever. Mutex-protected (lookups come from connection systhreads and
+   worker domains); eviction is an O(cap) scan for the stalest
+   generation, fine at the default cap. *)
+module Idem = struct
+  type entry = { resp : Protocol.response; mutable gen : int }
+
+  type cache = {
+    lock : Mutex.t;
+    tbl : (string, entry) Hashtbl.t;
+    cap : int;
+    mutable tick : int;
+  }
+
+  let create cap =
+    {
+      lock = Mutex.create ();
+      tbl = Hashtbl.create 64;
+      cap = max 1 cap;
+      tick = 0;
+    }
+
+  let find c key =
+    Mutex.lock c.lock;
+    let r =
+      match Hashtbl.find_opt c.tbl key with
+      | Some e ->
+        c.tick <- c.tick + 1;
+        e.gen <- c.tick;
+        Some e.resp
+      | None -> None
+    in
+    Mutex.unlock c.lock;
+    r
+
+  let add c key resp =
+    Mutex.lock c.lock;
+    (* First writer wins: concurrent same-key requests may both compute,
+       but retries see one stable answer. *)
+    if not (Hashtbl.mem c.tbl key) then begin
+      if Hashtbl.length c.tbl >= c.cap then begin
+        let victim =
+          Hashtbl.fold
+            (fun k e acc ->
+              match acc with
+              | Some (_, g) when g <= e.gen -> acc
+              | _ -> Some (k, e.gen))
+            c.tbl None
+        in
+        match victim with
+        | Some (k, _) -> Hashtbl.remove c.tbl k
+        | None -> ()
+      end;
+      c.tick <- c.tick + 1;
+      Hashtbl.add c.tbl key { resp; gen = c.tick }
+    end;
+    Mutex.unlock c.lock
+
+  let length c =
+    Mutex.lock c.lock;
+    let n = Hashtbl.length c.tbl in
+    Mutex.unlock c.lock;
+    n
+end
+
 type t = {
   config : Core.Config.t;
   store : Ev.Store.t;
+  checkpoints : string option;
+  idem : Idem.cache;
   started : float;  (* Monoclock origin of uptime *)
   served : int Atomic.t;
   busy_rejected : int Atomic.t;
   deadline_expired : int Atomic.t;
   crashed : int Atomic.t;
+  idempotent_hits : int Atomic.t;
   cum_local_hits : int Atomic.t;
   cum_local_misses : int Atomic.t;
   cum_store_hits : int Atomic.t;
   cum_store_misses : int Atomic.t;
 }
 
-let create ?(config = Core.Config.default) () =
+let default_idem_cap = 256
+
+let create ?(config = Core.Config.default) ?checkpoints
+    ?(idem_cap = default_idem_cap) () =
   {
     config;
     store = Ev.Store.create ();
+    checkpoints;
+    idem = Idem.create idem_cap;
     started = Core.Monoclock.now ();
     served = Atomic.make 0;
     busy_rejected = Atomic.make 0;
     deadline_expired = Atomic.make 0;
     crashed = Atomic.make 0;
+    idempotent_hits = Atomic.make 0;
     cum_local_hits = Atomic.make 0;
     cum_local_misses = Atomic.make 0;
     cum_store_hits = Atomic.make 0;
@@ -41,10 +119,12 @@ let create ?(config = Core.Config.default) () =
 let store t = t.store
 let note_busy t = Atomic.incr t.busy_rejected
 let uptime t = Core.Monoclock.now () -. t.started
+let idempotent_hits t = Atomic.get t.idempotent_hits
 
-let stats_body t ~queue_depth ~max_queue ~workers ~pool_failed =
+let stats_body t ~queue_depth ~max_queue ~workers ~pool_failed
+    ?(extra = []) () =
   Json.Obj
-    [
+    ([
       ("uptime_s", Json.Num (uptime t));
       ("queue_depth", Json.Num (float_of_int queue_depth));
       ("max_queue", Json.Num (float_of_int max_queue));
@@ -55,6 +135,9 @@ let stats_body t ~queue_depth ~max_queue ~workers ~pool_failed =
        Json.Num (float_of_int (Atomic.get t.deadline_expired)));
       ("crashed", Json.Num (float_of_int (Atomic.get t.crashed)));
       ("pool_failed_jobs", Json.Num (float_of_int pool_failed));
+      ("idempotent_hits",
+       Json.Num (float_of_int (Atomic.get t.idempotent_hits)));
+      ("idempotent_entries", Json.Num (float_of_int (Idem.length t.idem)));
       ("cache",
        Json.Obj
          [
@@ -71,6 +154,7 @@ let stats_body t ~queue_depth ~max_queue ~workers ~pool_failed =
             Json.Num (float_of_int (Ev.Store.evictions t.store)));
          ]);
     ]
+    @ extra)
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (runs on a worker domain)                         *)
@@ -99,6 +183,19 @@ let crash_failed t e bt =
   in
   Protocol.Failed { code = "crashed"; detail }
 
+(* Per-spec checkpoint directory, when the daemon persists at all: the
+   spec string sanitised to a path component. *)
+let sanitize_spec spec =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+      | _ -> '_')
+    spec
+
+let checkpoint_dir t spec =
+  Option.map (fun d -> Filename.concat d (sanitize_spec spec)) t.checkpoints
+
 let run_request t ~deadline spec =
   match Suite.Runner.load_bench spec with
   | exception Failure detail -> Protocol.Failed { code = "bad_request"; detail }
@@ -118,6 +215,7 @@ let run_request t ~deadline spec =
     in
     match
       Core.Flow.run_regional ~config ~on_step
+        ?checkpoint_dir:(checkpoint_dir t spec)
         ~tech:b.Suite.Format_io.tech ~source:b.Suite.Format_io.source
         ~obstacles:b.Suite.Format_io.obstacles b.Suite.Format_io.sinks
     with
@@ -213,7 +311,7 @@ let sleep_request t ~deadline seconds =
 
 (* Budget checked once more at execution start: a request can spend its
    whole budget waiting in the queue. *)
-let execute t ~deadline request =
+let execute_uncached t ~deadline request =
   match deadline with
   | Some d when Core.Monoclock.now () > d -> deadline_failed t
   | _ -> (
@@ -225,3 +323,22 @@ let execute t ~deadline request =
       (* Inline ops never reach the queue; see Server. *)
       Protocol.Failed
         { code = "bad_request"; detail = "op is answered inline, not queued" })
+
+(* The idempotency cache is consulted before the deadline: a retry whose
+   answer is already computed deserves it even on a spent budget —
+   serving it costs nothing and recomputing is exactly what the key
+   exists to prevent. Only [Completed] responses are remembered. *)
+let execute t ~deadline request =
+  match Protocol.request_key request with
+  | None -> execute_uncached t ~deadline request
+  | Some key -> (
+    match Idem.find t.idem key with
+    | Some resp ->
+      Atomic.incr t.idempotent_hits;
+      resp
+    | None ->
+      let resp = execute_uncached t ~deadline request in
+      (match resp with
+      | Protocol.Completed _ -> Idem.add t.idem key resp
+      | Protocol.Busy _ | Protocol.Failed _ -> ());
+      resp)

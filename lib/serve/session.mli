@@ -12,11 +12,16 @@
 
 type t
 
-(** [create ?config ()] — fresh shared state around an empty store.
-    [config] (default {!Core.Config.default}) seeds every request's flow
-    configuration; its [deadline] and [store] fields are overwritten per
-    request. *)
-val create : ?config:Core.Config.t -> unit -> t
+(** [create ?config ?checkpoints ?idem_cap ()] — fresh shared state
+    around an empty store. [config] (default {!Core.Config.default})
+    seeds every request's flow configuration; its [deadline] and [store]
+    fields are overwritten per request. [checkpoints] makes every [Run]
+    write verified per-stage checkpoints under
+    [<checkpoints>/<sanitised spec>/] (an unwritable checkpoint is a
+    recorded incident, never a failed request). [idem_cap] (default 256)
+    bounds the idempotency cache. *)
+val create :
+  ?config:Core.Config.t -> ?checkpoints:string -> ?idem_cap:int -> unit -> t
 
 (** The shared cross-request store (exposed for tests and telemetry). *)
 val store : t -> Analysis.Evaluator.Store.t
@@ -28,17 +33,27 @@ val note_busy : t -> unit
 (** Seconds since [create], monotonic. *)
 val uptime : t -> float
 
+(** Requests answered from the idempotency cache (never recomputed). *)
+val idempotent_hits : t -> int
+
 (** The ["stats"] response body: uptime, queue/pool shape, request
-    outcome counters and cumulative cache telemetry. *)
+    outcome counters, idempotency and cumulative cache telemetry.
+    [extra] fields (the server's connection/chaos counters) are appended
+    verbatim. *)
 val stats_body :
   t -> queue_depth:int -> max_queue:int -> workers:int -> pool_failed:int ->
-  Suite.Report.Json.t
+  ?extra:(string * Suite.Report.Json.t) list -> unit -> Suite.Report.Json.t
 
 (** Execute one queued request. [deadline] is on the {!Core.Monoclock}
     scale and is re-checked at entry (queue wait counts against the
     budget) and cooperatively during execution via
     {!Core.Config.deadline}. Never raises: failures come back as
     {!Protocol.Failed} ([deadline] / [bad_request] / [crashed]).
+
+    A [Run]/[Eval] request carrying a [request_key] is first looked up
+    in the bounded idempotency cache — before the deadline check, so a
+    retry of an already-answered key succeeds even on a spent budget;
+    its [Completed] response is remembered afterwards.
     [Stats]/[Ping]/[Shutdown] are answered inline by the server and
     rejected here. *)
 val execute :

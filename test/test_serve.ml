@@ -28,9 +28,12 @@ let contains haystack needle =
 let test_protocol_roundtrip () =
   let requests =
     [
-      Protocol.Run { spec = "ti:200"; timeout_s = Some 12.5 };
-      Protocol.Run { spec = "grid:4"; timeout_s = None };
-      Protocol.Eval { spec = "f11"; timeout_s = Some 0.25 };
+      Protocol.Run
+        { spec = "ti:200"; timeout_s = Some 12.5; request_key = None };
+      Protocol.Run
+        { spec = "grid:4"; timeout_s = None; request_key = Some "k-1" };
+      Protocol.Eval
+        { spec = "f11"; timeout_s = Some 0.25; request_key = Some "k-2" };
       Protocol.Sleep { seconds = 1.5; timeout_s = None };
       Protocol.Stats;
       Protocol.Ping;
@@ -116,7 +119,8 @@ let cache_field body name =
 
 let run_ok addr spec =
   match
-    Client.oneshot addr (Protocol.Run { spec; timeout_s = Some 120. })
+    Client.oneshot addr
+      (Protocol.Run { spec; timeout_s = Some 120.; request_key = None })
   with
   | Ok (Protocol.Completed { body; _ }) -> body
   | Ok (Protocol.Busy _) -> Alcotest.fail "unexpected Busy"
@@ -158,7 +162,8 @@ let test_deadline () =
       (* Same through the flow's own cooperative checks. *)
       match
         Client.oneshot addr
-          (Protocol.Run { spec = "ti:100"; timeout_s = Some 0.002 })
+          (Protocol.Run
+             { spec = "ti:100"; timeout_s = Some 0.002; request_key = None })
       with
       | Ok (Protocol.Failed { code; _ }) -> check_string "code" "deadline" code
       | Ok _ -> Alcotest.fail "expected a deadline failure"
@@ -167,7 +172,8 @@ let test_deadline () =
 let test_bad_spec_request () =
   with_server (fun addr ->
       match
-        Client.oneshot addr (Protocol.Run { spec = "ti:-5"; timeout_s = None })
+        Client.oneshot addr
+          (Protocol.Run { spec = "ti:-5"; timeout_s = None; request_key = None })
       with
       | Ok (Protocol.Failed { code; detail }) ->
         check_string "code" "bad_request" code;
@@ -227,6 +233,123 @@ let test_backpressure () =
       | Ok (Protocol.Completed _) -> ()
       | Ok _ -> Alcotest.fail "queue should have drained"
       | Error e -> Alcotest.fail e)
+
+(* ---------- connection lifecycle regressions ---------- *)
+
+(* Regression for the graceful-shutdown hang: an idle connection kept
+   [conns > 0] with nothing in flight, so the drain loop waited on it
+   forever. The drain now closes idle connections, so shutdown completes
+   while a parked client is still connected. *)
+let test_shutdown_with_idle_conn () =
+  let dir = Filename.temp_dir "contango_serve" "" in
+  let path = Filename.concat dir "d.sock" in
+  let server = Server.create (Unix.ADDR_UNIX path) in
+  let addr = Server.sockaddr server in
+  let thread = Thread.create Server.serve server in
+  check_bool "daemon comes up" true (Client.wait_ready addr);
+  (* Park a connection that never sends a request. *)
+  let idle = Client.connect addr in
+  (match Client.oneshot addr Protocol.Shutdown with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let joined = Atomic.make false in
+  let joiner =
+    Thread.create
+      (fun () ->
+        Thread.join thread;
+        Atomic.set joined true)
+      ()
+  in
+  let give_up = Core.Monoclock.now () +. 10. in
+  while (not (Atomic.get joined)) && Core.Monoclock.now () < give_up do
+    Unix.sleepf 0.01
+  done;
+  check_bool "drain does not wait on the idle connection" true
+    (Atomic.get joined);
+  Client.close idle;
+  Thread.join joiner
+
+(* Pin the ready condition: any decoded response counts, even one from a
+   daemon that answers everything Busy — readiness means "the socket
+   speaks the protocol", not "the daemon has capacity". *)
+let test_wait_ready_accepts_busy () =
+  let dir = Filename.temp_dir "contango_serve" "" in
+  let path = Filename.concat dir "busy.sock" in
+  let addr = Unix.ADDR_UNIX path in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd addr;
+  Unix.listen fd 4;
+  let stop = Atomic.make false in
+  let accepter =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.accept fd with
+          | c, _ ->
+            (try
+               ignore (Protocol.read_frame c);
+               Protocol.write_frame c
+                 (Protocol.encode_response
+                    (Protocol.Busy { retry_after_s = 0.5 }))
+             with Protocol.Framing_error _ | Unix.Unix_error _ -> ());
+            (try Unix.close c with Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error _ -> Atomic.set stop true
+        done)
+      ()
+  in
+  check_bool "busy answers count as ready" true
+    (Client.wait_ready ~timeout_s:5. addr);
+  Atomic.set stop true;
+  (* Unblock the accept so the thread can exit. *)
+  (try Client.close (Client.connect addr) with Unix.Unix_error _ -> ());
+  Unix.close fd;
+  Thread.join accepter
+
+(* Pin [oneshot]'s close-on-raise: a server that answers with an
+   oversize header makes every exchange raise Framing_error, and the
+   process fd population must not grow — the connection is closed on the
+   way out of the raise. *)
+let test_oneshot_closes_on_raise () =
+  let count_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+  let dir = Filename.temp_dir "contango_serve" "" in
+  let path = Filename.concat dir "evil.sock" in
+  let addr = Unix.ADDR_UNIX path in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd addr;
+  Unix.listen fd 16;
+  let rounds = 10 in
+  let accepter =
+    Thread.create
+      (fun () ->
+        for _ = 1 to rounds do
+          match Unix.accept fd with
+          | c, _ ->
+            (try
+               ignore (Protocol.read_frame c);
+               (* Header claiming an impossible frame; no payload. *)
+               let b = Bytes.create 4 in
+               Bytes.set_int32_be b 0
+                 (Int32.of_int (Protocol.max_frame + 1));
+               Protocol.really_write c b
+             with Protocol.Framing_error _ | Unix.Unix_error _ -> ());
+            (try Unix.close c with Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error _ -> ()
+        done)
+      ()
+  in
+  let before = count_fds () in
+  for _ = 1 to rounds do
+    match Client.oneshot addr Protocol.Ping with
+    | Ok _ | Error _ -> Alcotest.fail "expected a framing error"
+    | exception Protocol.Framing_error _ -> ()
+  done;
+  Thread.join accepter;
+  Unix.close fd;
+  (* Transient fds (the readdir handle, the accepter's live connection)
+     can make the baseline wobble by one downward; a leak would grow the
+     population by one per round. *)
+  check_bool "no fd leaked across raising exchanges" true
+    (count_fds () <= before)
 
 (* ---------- pool regressions ---------- *)
 
@@ -383,6 +506,13 @@ let () =
          Alcotest.test_case "bad spec" `Quick test_bad_spec_request;
          Alcotest.test_case "backpressure at max-queue" `Slow
            test_backpressure ]);
+      ("lifecycle",
+       [ Alcotest.test_case "shutdown with idle connection" `Quick
+           test_shutdown_with_idle_conn;
+         Alcotest.test_case "wait_ready accepts busy" `Quick
+           test_wait_ready_accepts_busy;
+         Alcotest.test_case "oneshot closes on raise" `Quick
+           test_oneshot_closes_on_raise ]);
       ("pool",
        [ Alcotest.test_case "raising job survives" `Quick
            test_pool_survives_raising_job;
